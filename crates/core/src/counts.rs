@@ -1,0 +1,62 @@
+//! Per-thread, per-floorplan-block access counts.
+//!
+//! The pipeline reports accesses per *resource*; the power model maps
+//! resources to floorplan *blocks*; temperatures are per block. The DTM
+//! policies therefore monitor at block granularity. The simulator performs
+//! the resource→block aggregation (via `hs_power::resource_block`) and
+//! hands policies a [`BlockCounts`].
+
+use hs_cpu::MAX_THREADS;
+use hs_thermal::{Block, NUM_BLOCKS};
+
+/// Access counts per thread per block over one sampling interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockCounts {
+    counts: [[u64; NUM_BLOCKS]; MAX_THREADS],
+}
+
+impl BlockCounts {
+    /// An all-zero matrix.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` accesses by thread `thread` to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread >= MAX_THREADS`.
+    pub fn add(&mut self, thread: usize, block: Block, n: u64) {
+        self.counts[thread][block.index()] += n;
+    }
+
+    /// The count for one thread and block.
+    #[must_use]
+    pub fn get(&self, thread: usize, block: Block) -> u64 {
+        self.counts[thread][block.index()]
+    }
+
+    /// Resets all counts.
+    pub fn clear(&mut self) {
+        self.counts = [[0; NUM_BLOCKS]; MAX_THREADS];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_cell() {
+        let mut c = BlockCounts::new();
+        c.add(0, Block::IntReg, 5);
+        c.add(0, Block::IntReg, 2);
+        c.add(1, Block::IntReg, 9);
+        assert_eq!(c.get(0, Block::IntReg), 7);
+        assert_eq!(c.get(1, Block::IntReg), 9);
+        assert_eq!(c.get(0, Block::L2), 0);
+        c.clear();
+        assert_eq!(c.get(1, Block::IntReg), 0);
+    }
+}

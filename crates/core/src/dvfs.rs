@@ -1,0 +1,164 @@
+//! A DVS-like global throttling baseline.
+//!
+//! The paper's survey of prior DTM: "\[12\] scale down the clock cycle and
+//! voltage, to slow down the pipeline until the hot spot has cooled down",
+//! and observes that for realistic configurations global clock gating
+//! (stop-and-go) performs about the same. This policy models the
+//! frequency-scaling family at the granularity our harness controls: while
+//! a triggered block is above its resume temperature the pipeline runs at
+//! a reduced duty cycle instead of stopping completely.
+//!
+//! It shares stop-and-go's fundamental weakness — the whole pipeline pays
+//! for one thread's hot spot — so heat stroke defeats it identically.
+
+use crate::config::DtmThresholds;
+use crate::policy::{DtmDecision, DtmInput, ThermalPolicy};
+use crate::report::{OsReport, ReportKind};
+use hs_thermal::{ALL_BLOCKS, NUM_BLOCKS};
+
+/// Global duty-cycle throttling on thermal emergencies.
+#[derive(Debug, Clone)]
+pub struct GlobalDvfs {
+    thresholds: DtmThresholds,
+    /// Out of this many samples, how many are stalled while throttling
+    /// (e.g. 1-of-2 models half frequency).
+    stall_every: u32,
+    throttling: bool,
+    hot: [bool; NUM_BLOCKS],
+    phase: u32,
+    emergencies: u64,
+    reports: Vec<OsReport>,
+}
+
+impl GlobalDvfs {
+    /// Creates the policy. `stall_every = 2` models half-speed operation
+    /// while hot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thresholds are invalid or `stall_every < 2`.
+    #[must_use]
+    pub fn new(thresholds: DtmThresholds, stall_every: u32) -> Self {
+        thresholds.validate();
+        assert!(stall_every >= 2, "duty denominator must be at least 2");
+        GlobalDvfs {
+            thresholds,
+            stall_every,
+            throttling: false,
+            hot: [false; NUM_BLOCKS],
+            phase: 0,
+            emergencies: 0,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Whether the pipeline is currently throttled.
+    #[must_use]
+    pub fn is_throttling(&self) -> bool {
+        self.throttling
+    }
+}
+
+impl Default for GlobalDvfs {
+    fn default() -> Self {
+        Self::new(DtmThresholds::default(), 2)
+    }
+}
+
+impl ThermalPolicy for GlobalDvfs {
+    fn name(&self) -> &'static str {
+        "global-dvfs"
+    }
+
+    fn on_sample(&mut self, input: &DtmInput<'_>) -> DtmDecision {
+        for b in ALL_BLOCKS {
+            let t = input.block_temps[b.index()];
+            if t >= self.thresholds.emergency_k && !self.hot[b.index()] {
+                self.hot[b.index()] = true;
+                self.emergencies += 1;
+                self.reports.push(OsReport {
+                    cycle: input.cycle,
+                    thread: None,
+                    block: b,
+                    kind: ReportKind::Emergency,
+                    weighted_avg: None,
+                    temperature_k: t,
+                });
+            }
+            if self.hot[b.index()] && t <= self.thresholds.normal_k {
+                self.hot[b.index()] = false;
+            }
+        }
+        self.throttling = self.hot.iter().any(|&h| h);
+        let stall = if self.throttling {
+            self.phase = (self.phase + 1) % self.stall_every;
+            self.phase == 0
+        } else {
+            self.phase = 0;
+            false
+        };
+        DtmDecision {
+            global_stall: stall,
+            gate: Default::default(),
+        }
+    }
+
+    fn take_reports(&mut self) -> Vec<OsReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    fn emergencies(&self) -> u64 {
+        self.emergencies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::BlockCounts;
+    use hs_thermal::Block;
+
+    fn sample(p: &mut GlobalDvfs, temp: f64, cycle: u64) -> DtmDecision {
+        let mut temps = [345.0; NUM_BLOCKS];
+        temps[Block::IntReg.index()] = temp;
+        let counts = BlockCounts::new();
+        p.on_sample(&DtmInput {
+            cycle,
+            block_temps: &temps,
+            counts: &counts,
+            global_stalled: false,
+        })
+    }
+
+    #[test]
+    fn throttles_at_half_duty_until_normal() {
+        let mut p = GlobalDvfs::default();
+        assert!(!sample(&mut p, 358.6, 0).global_stall || p.is_throttling());
+        assert!(p.is_throttling());
+        assert_eq!(p.emergencies(), 1);
+        // While hot, stalls alternate (half duty).
+        let stalls: Vec<bool> = (1..9)
+            .map(|i| sample(&mut p, 356.0, i * 100).global_stall)
+            .collect();
+        let stalled = stalls.iter().filter(|&&s| s).count();
+        assert_eq!(stalled, 4, "half duty expected, got {stalls:?}");
+        // Cooling to normal ends the throttle.
+        assert!(!sample(&mut p, 353.9, 1_000).global_stall);
+        assert!(!p.is_throttling());
+    }
+
+    #[test]
+    fn never_throttles_below_emergency() {
+        let mut p = GlobalDvfs::default();
+        for i in 0..20 {
+            assert!(!sample(&mut p, 358.0, i * 100).global_stall);
+        }
+        assert_eq!(p.emergencies(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn unit_duty_rejected() {
+        let _ = GlobalDvfs::new(DtmThresholds::default(), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! OS reporting: the paper's hardware "report\[s\] the offending threads to
+//! the operating system" so the scheduler can act on repeat offenders.
+
+use hs_cpu::ThreadId;
+use hs_thermal::Block;
+use std::fmt;
+
+/// What a report describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// A thread was identified as the culprit at a resource and sedated.
+    Sedated,
+    /// Sedated threads were released after the resource cooled.
+    Released,
+    /// The resource reached the emergency temperature and the safety-net
+    /// stop-and-go engaged.
+    Emergency,
+    /// The safety-net stall ended; all sedated threads were restored.
+    SafetyNetReleased,
+}
+
+impl fmt::Display for ReportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReportKind::Sedated => "sedated",
+            ReportKind::Released => "released",
+            ReportKind::Emergency => "emergency",
+            ReportKind::SafetyNetReleased => "safety-net released",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One event reported to the OS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OsReport {
+    /// Cycle at which the event occurred.
+    pub cycle: u64,
+    /// The thread involved (`None` for chip-wide events).
+    pub thread: Option<ThreadId>,
+    /// The resource (floorplan block) involved.
+    pub block: Block,
+    /// The event kind.
+    pub kind: ReportKind,
+    /// The culprit's weighted average at decision time, if applicable.
+    pub weighted_avg: Option<f64>,
+    /// The block temperature at decision time (K).
+    pub temperature_k: f64,
+}
+
+impl fmt::Display for OsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[cycle {:>12}] {} @ {} ({:.2} K",
+            self.cycle, self.kind, self.block, self.temperature_k
+        )?;
+        if let Some(t) = self.thread {
+            write!(f, ", thread {t}")?;
+        }
+        if let Some(w) = self.weighted_avg {
+            write!(f, ", wt.avg {w:.1}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let r = OsReport {
+            cycle: 1_234,
+            thread: Some(ThreadId(1)),
+            block: Block::IntReg,
+            kind: ReportKind::Sedated,
+            weighted_avg: Some(9876.5),
+            temperature_k: 356.2,
+        };
+        let s = r.to_string();
+        assert!(s.contains("sedated"));
+        assert!(s.contains("int-reg"));
+        assert!(s.contains("T1"));
+        assert!(s.contains("356.2"));
+    }
+}

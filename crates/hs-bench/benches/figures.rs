@@ -1,0 +1,59 @@
+//! End-to-end quantum benchmarks: how fast the full stack (pipeline +
+//! power + thermal + DTM) simulates one heavily time-scaled quantum for
+//! the three scenario classes every figure is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hs_sim::{HeatSink, PolicyKind, RunSpec, SimConfig};
+use hs_workloads::{SpecWorkload, Workload};
+use std::hint::black_box;
+
+fn bench_quantum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantum");
+    // A very small quantum so criterion can iterate: scale 2000 ⇒ 250k
+    // cycles measured (+ a trimmed warm-up).
+    let mut cfg = SimConfig::scaled(2000.0);
+    cfg.warmup_cycles = 200_000;
+    g.throughput(Throughput::Elements(cfg.quantum_cycles + cfg.warmup_cycles));
+    g.sample_size(10);
+
+    let scenarios = [
+        (
+            "solo-stop-and-go",
+            RunSpec::solo(
+                Workload::Spec(SpecWorkload::Gcc),
+                PolicyKind::StopAndGo,
+                HeatSink::Realistic,
+                cfg,
+            ),
+        ),
+        (
+            "attack-stop-and-go",
+            RunSpec::pair(
+                Workload::Spec(SpecWorkload::Gcc),
+                Workload::Variant2,
+                PolicyKind::StopAndGo,
+                HeatSink::Realistic,
+                cfg,
+            ),
+        ),
+        (
+            "attack-sedation",
+            RunSpec::pair(
+                Workload::Spec(SpecWorkload::Gcc),
+                Workload::Variant2,
+                PolicyKind::SelectiveSedation,
+                HeatSink::Realistic,
+                cfg,
+            ),
+        ),
+    ];
+    for (name, spec) in scenarios {
+        g.bench_function(BenchmarkId::new("run", name), |b| {
+            b.iter(|| black_box(spec.run().thread(0).ipc));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantum);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion microbenchmarks for the SMT pipeline: cycles/second for
+//! representative workload mixes, plus the cache and predictor substrates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hs_cpu::pipeline::FetchGate;
+use hs_cpu::{BranchPredictor, Cpu, CpuConfig};
+use hs_mem::{AccessKind, CacheGeometry, MemConfig, MemoryHierarchy, SetAssocCache};
+use hs_workloads::{SpecWorkload, Workload};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    let cases = [
+        ("gcc-solo", vec![Workload::Spec(SpecWorkload::Gcc)]),
+        ("variant1-solo", vec![Workload::Variant1]),
+        (
+            "gcc+variant2",
+            vec![Workload::Spec(SpecWorkload::Gcc), Workload::Variant2],
+        ),
+        (
+            "eon+art",
+            vec![
+                Workload::Spec(SpecWorkload::Eon),
+                Workload::Spec(SpecWorkload::Art),
+            ],
+        ),
+    ];
+    const CYCLES: u64 = 20_000;
+    g.throughput(Throughput::Elements(CYCLES));
+    for (name, ws) in cases {
+        g.bench_function(BenchmarkId::new("tick", name), |b| {
+            let mut cpu = Cpu::new(CpuConfig::default(), MemConfig::default());
+            for w in &ws {
+                cpu.attach_thread(w.program(50.0));
+            }
+            // Warm.
+            for _ in 0..200_000 {
+                cpu.tick(FetchGate::open());
+            }
+            b.iter(|| {
+                for _ in 0..CYCLES {
+                    cpu.tick(FetchGate::open());
+                }
+                black_box(cpu.cycle())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("l1-hit-stream", |b| {
+        let mut cache = SetAssocCache::new(CacheGeometry::new(64 << 10, 64, 4).unwrap());
+        for i in 0..1024u64 {
+            cache.access(i * 64 % (32 << 10), false);
+        }
+        b.iter(|| {
+            for i in 0..1024u64 {
+                black_box(cache.access(i * 64 % (32 << 10), false));
+            }
+        });
+    });
+    g.bench_function("hierarchy-l2-conflict", |b| {
+        let cfg = MemConfig::default();
+        let stride = cfg.l2.way_stride();
+        let mut mem = MemoryHierarchy::new(cfg);
+        b.iter(|| {
+            for i in 0..9u64 {
+                black_box(mem.access(AccessKind::DataRead, 0x100 + i * stride));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    c.bench_function("bpred/predict-update", |b| {
+        let mut p = BranchPredictor::new(2048);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(64);
+            let taken = p.predict(i);
+            p.update(i, i % 3 != 0);
+            black_box(taken)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline, bench_cache, bench_bpred
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 4: number of temperature emergencies in one OS quantum.
+//!
+//! Three bars per benchmark: (1) solo, (2) with variant2 under stop-and-go,
+//! (3) with variant2 under selective sedation. The paper's shape: solo is
+//! near zero for most benchmarks, the attack multiplies emergencies, and
+//! sedation restores them to ≈solo levels.
+
+use hs_bench::{config, header, run_pair, run_solo, suite};
+use hs_sim::{HeatSink, PolicyKind};
+use hs_workloads::Workload;
+
+fn main() {
+    let cfg = config();
+    header("Figure 4", "temperature emergencies in one OS quantum", &cfg);
+
+    println!(
+        "{:>10} {:>6} {:>14} {:>14}",
+        "benchmark", "solo", "+v2 stop&go", "+v2 sedation"
+    );
+    let mut totals = [0u64; 3];
+    for s in suite() {
+        let w = Workload::Spec(s);
+        let solo = run_solo(w, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).emergencies;
+        let attacked = run_pair(
+            w,
+            Workload::Variant2,
+            PolicyKind::StopAndGo,
+            HeatSink::Realistic,
+            cfg,
+        )
+        .emergencies;
+        let defended = run_pair(
+            w,
+            Workload::Variant2,
+            PolicyKind::SelectiveSedation,
+            HeatSink::Realistic,
+            cfg,
+        )
+        .emergencies;
+        totals[0] += solo;
+        totals[1] += attacked;
+        totals[2] += defended;
+        println!("{:>10} {solo:>6} {attacked:>14} {defended:>14}", s.name());
+    }
+    let n = suite().len() as f64;
+    println!("{}", "-".repeat(48));
+    println!(
+        "{:>10} {:>6.1} {:>14.1} {:>14.1}   (averages)",
+        "mean",
+        totals[0] as f64 / n,
+        totals[1] as f64 / n,
+        totals[2] as f64 / n
+    );
+    println!(
+        "\nattack multiplies emergencies by {:.1}x on average; sedation brings them back to {:.1}x solo",
+        totals[1] as f64 / totals[0].max(1) as f64,
+        totals[2] as f64 / totals[0].max(1) as f64
+    );
+}

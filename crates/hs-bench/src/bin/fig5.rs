@@ -1,0 +1,111 @@
+//! Figure 5: IPC of the SPEC program under eleven configurations.
+//!
+//! Per benchmark: solo (ideal sink, realistic sink), then for each
+//! malicious variant: together under an ideal sink (isolating ICOUNT
+//! effects), a realistic sink with stop-and-go (the heat stroke), and a
+//! realistic sink with selective sedation (the defense).
+
+use hs_bench::{config, header, run_pair, run_solo, suite};
+use hs_sim::{HeatSink, PolicyKind, SimConfig};
+use hs_workloads::Workload;
+
+struct Row {
+    name: &'static str,
+    solo_ideal: f64,
+    solo_real: f64,
+    /// Per variant: (ideal, stop-and-go, sedation).
+    variants: [[f64; 3]; 3],
+}
+
+fn victim_ipc(
+    victim: Workload,
+    other: Workload,
+    policy: PolicyKind,
+    sink: HeatSink,
+    cfg: SimConfig,
+) -> f64 {
+    run_pair(victim, other, policy, sink, cfg).thread(0).ipc
+}
+
+fn main() {
+    let cfg = config();
+    header("Figure 5", "IPC of the SPEC program under the 11 configurations", &cfg);
+
+    let attackers = [Workload::Variant1, Workload::Variant2, Workload::Variant3];
+    let mut rows = Vec::new();
+    for s in suite() {
+        let w = Workload::Spec(s);
+        let solo_ideal = run_solo(w, PolicyKind::None, HeatSink::Ideal, cfg).thread(0).ipc;
+        let solo_real =
+            run_solo(w, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).thread(0).ipc;
+        let mut variants = [[0.0; 3]; 3];
+        for (vi, &v) in attackers.iter().enumerate() {
+            variants[vi] = [
+                victim_ipc(w, v, PolicyKind::None, HeatSink::Ideal, cfg),
+                victim_ipc(w, v, PolicyKind::StopAndGo, HeatSink::Realistic, cfg),
+                victim_ipc(w, v, PolicyKind::SelectiveSedation, HeatSink::Realistic, cfg),
+            ];
+        }
+        rows.push(Row {
+            name: s.name(),
+            solo_ideal,
+            solo_real,
+            variants,
+        });
+        eprint!("."); // progress to stderr
+    }
+    eprintln!();
+
+    println!(
+        "{:>10} | {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5}",
+        "", "solo", "solo", "v1", "v1", "v1", "v2", "v2", "v2", "v3", "v3", "v3"
+    );
+    println!(
+        "{:>10} | {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5}",
+        "benchmark", "ideal", "real", "ideal", "s&g", "sed", "ideal", "s&g", "sed", "ideal", "s&g", "sed"
+    );
+    println!("{}", "-".repeat(100));
+    let mut sums = [0.0f64; 11];
+    for r in &rows {
+        let cells = [
+            r.solo_ideal,
+            r.solo_real,
+            r.variants[0][0],
+            r.variants[0][1],
+            r.variants[0][2],
+            r.variants[1][0],
+            r.variants[1][1],
+            r.variants[1][2],
+            r.variants[2][0],
+            r.variants[2][1],
+            r.variants[2][2],
+        ];
+        for (s, c) in sums.iter_mut().zip(cells) {
+            *s += c;
+        }
+        println!(
+            "{:>10} | {:>5.2} {:>5.2} | {:>5.2} {:>5.2} {:>5.2} | {:>5.2} {:>5.2} {:>5.2} | {:>5.2} {:>5.2} {:>5.2}",
+            r.name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5], cells[6], cells[7], cells[8], cells[9], cells[10]
+        );
+    }
+    let n = rows.len() as f64;
+    println!("{}", "-".repeat(100));
+    print!("{:>10} |", "mean");
+    for (i, s) in sums.iter().enumerate() {
+        if i == 2 || i == 5 || i == 8 {
+            print!(" |");
+        }
+        print!(" {:>5.2}", s / n);
+    }
+    println!();
+
+    let deg = |i: usize| 100.0 * (1.0 - sums[i] / sums[1]);
+    println!("\nheat-stroke degradation vs solo-realistic (victim IPC):");
+    println!("  variant1 + stop-and-go : {:>5.1}%   (power density + ICOUNT monopolization)", deg(3));
+    println!("  variant2 + stop-and-go : {:>5.1}%   (power density alone — the heat stroke)", deg(6));
+    println!("  variant3 + stop-and-go : {:>5.1}%   (evasive low-rate attacker)", deg(9));
+    println!("\nselective sedation restores the victim to:");
+    println!("  vs variant1 : {:>5.1}% of solo", 100.0 * sums[4] / sums[1]);
+    println!("  vs variant2 : {:>5.1}% of solo", 100.0 * sums[7] / sums[1]);
+    println!("  vs variant3 : {:>5.1}% of solo", 100.0 * sums[10] / sums[1]);
+}

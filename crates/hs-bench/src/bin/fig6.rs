@@ -1,0 +1,68 @@
+//! Figure 6: breakdown of execution time.
+//!
+//! Four bars per benchmark: (1) the SPEC program alone, (2) SPEC with
+//! variant2 under stop-and-go, (3) SPEC with variant2 under sedation, and
+//! (4) variant2 itself under sedation. Each bar splits the quantum into
+//! normal execution, global (cooling) stalls, and sedation stalls.
+
+use hs_bench::{config, header, run_pair, run_solo, suite};
+use hs_sim::stats::ThreadBreakdown;
+use hs_sim::{HeatSink, PolicyKind};
+use hs_workloads::Workload;
+
+fn fmt(b: &ThreadBreakdown) -> String {
+    format!(
+        "normal {:>4.0}% | stall {:>4.0}% | sedated {:>4.0}%",
+        100.0 * b.normal_fraction(),
+        100.0 * b.stall_fraction(),
+        100.0 * b.sedated_fraction()
+    )
+}
+
+fn main() {
+    let cfg = config();
+    header("Figure 6", "breakdown of execution time", &cfg);
+
+    let mut acc = [[0.0f64; 3]; 4];
+    let mut n = 0.0;
+    for s in suite() {
+        let w = Workload::Spec(s);
+        let solo = run_solo(w, PolicyKind::StopAndGo, HeatSink::Realistic, cfg);
+        let sg = run_pair(w, Workload::Variant2, PolicyKind::StopAndGo, HeatSink::Realistic, cfg);
+        let sed = run_pair(
+            w,
+            Workload::Variant2,
+            PolicyKind::SelectiveSedation,
+            HeatSink::Realistic,
+            cfg,
+        );
+        let bars = [
+            ("alone", solo.thread(0).breakdown),
+            ("s&g +v2", sg.thread(0).breakdown),
+            ("sed +v2", sed.thread(0).breakdown),
+            ("v2(sed)", sed.thread(1).breakdown),
+        ];
+        println!("{}:", s.name());
+        for (i, (label, b)) in bars.iter().enumerate() {
+            println!("  {:>8}  {}", label, fmt(b));
+            acc[i][0] += b.normal_fraction();
+            acc[i][1] += b.stall_fraction();
+            acc[i][2] += b.sedated_fraction();
+        }
+        n += 1.0;
+    }
+
+    println!("\naverages across the suite:");
+    for (i, label) in ["SPEC alone", "SPEC +v2 stop-and-go", "SPEC +v2 sedation", "variant2 under sedation"]
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  {:>24}: normal {:>4.0}%, cooling stalls {:>4.0}%, sedated {:>4.0}%",
+            label,
+            100.0 * acc[i][0] / n,
+            100.0 * acc[i][1] / n,
+            100.0 * acc[i][2] / n
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Prints the malicious-thread code of Figures 1 and 2 as actually
+//! generated for this ISA (truncated to the interesting parts).
+
+use hs_bench::config;
+use hs_workloads::{MaliciousParams, Workload};
+
+fn print_truncated(name: &str, w: Workload, time_scale: f64, keep: usize) {
+    let p = w.program(time_scale);
+    println!("--- {name} ({} instructions total) ---", p.len());
+    let listing = p.listing();
+    let lines: Vec<&str> = listing.lines().collect();
+    for line in lines.iter().take(keep) {
+        println!("{line}");
+    }
+    if lines.len() > keep {
+        println!("    ... ({} more lines)", lines.len() - keep);
+        // Show the loads of the conflict phase if present.
+        if let Some(first_load) = lines.iter().position(|l| l.contains("ldq")) {
+            println!("    ...");
+            for line in lines.iter().skip(first_load).take(10) {
+                println!("{line}");
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let cfg = config();
+    println!("Figure 1: the aggressive malicious thread (variant1)\n");
+    print_truncated("variant1", Workload::Variant1, cfg.time_scale, 12);
+
+    println!("Figure 2: the moderately malicious thread (variant2)");
+    let p2 = MaliciousParams::variant2(cfg.time_scale);
+    println!(
+        "  burst: {} independent addl instructions; miss phase: {} rounds of\n  nine loads mapping to one set of the 8-way L2\n",
+        p2.burst_insts, p2.conflict_rounds
+    );
+    print_truncated("variant2", Workload::Variant2, cfg.time_scale, 12);
+
+    println!("variant3: the evasive attacker (short bursts, long miss phases)");
+    let p3 = MaliciousParams::variant3(cfg.time_scale);
+    println!(
+        "  burst: {} addl instructions; miss phase: {} conflict rounds\n",
+        p3.burst_insts, p3.conflict_rounds
+    );
+}

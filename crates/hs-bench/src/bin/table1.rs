@@ -1,0 +1,55 @@
+//! Regenerates Table 1 of the paper: the architectural and power-density
+//! parameters of the simulated system.
+
+use hs_bench::config;
+
+fn main() {
+    let cfg = config();
+    let cpu = cfg.cpu;
+    let mem = cfg.mem;
+    let th = cfg.thermal;
+
+    println!("Table 1: System parameters");
+    println!("==========================\n");
+    println!("Architectural Parameters");
+    println!("  Instruction issue        {}, out-of-order", cpu.issue_width);
+    println!(
+        "  L1                       {}KB {}-way i & d, {}-cycle",
+        mem.l1i.size_bytes() / 1024,
+        mem.l1i.assoc(),
+        mem.l1_latency
+    );
+    println!(
+        "  L2                       {}M {}-way shared, {}-cycle",
+        mem.l2.size_bytes() / (1 << 20),
+        mem.l2.assoc(),
+        mem.l2_latency
+    );
+    println!("  RUU/LSQ                  {}/{} entries", cpu.ruu_size, cpu.lsq_size);
+    println!("  Memory ports             {}", cpu.mem_ports);
+    println!("  Off-chip memory latency  {} cycles", mem.memory_latency);
+    println!("  SMT                      {} contexts", cpu.contexts);
+    println!(
+        "  Fetch policy             ICOUNT.{}.{}",
+        cpu.fetch_threads_per_cycle, cpu.fetch_width
+    );
+    println!();
+    println!("Power Density Parameters");
+    println!("  Vdd                      1.1 V (modelled via calibrated per-access energies)");
+    println!("  Base frequency           {} GHz", cfg.freq_hz / 1e9);
+    println!("  Convection resistance    {} K/W", th.convection_resistance);
+    println!("  Heat-sink capacitance    {} J/K (6.9 mm sink equivalent)", th.sink_capacitance);
+    println!(
+        "  Thermal RC cooling time  ~10 ms (physical); {}x time-scaled here",
+        cfg.time_scale
+    );
+    println!("  Sensor period            {} cycles", cfg.sensor_interval_cycles);
+    println!();
+    println!("DTM thresholds (K)");
+    let t = cfg.sedation.thresholds;
+    println!("  emergency / upper / lower / normal = {} / {} / {} / {}",
+        t.emergency_k, t.upper_k, t.lower_k, t.normal_k);
+    println!("  monitor sample period    {} cycles, EWMA x = 1/{}",
+        cfg.sedation.sample_period_cycles, 1u32 << cfg.sedation.ewma_shift);
+    println!("  OS quantum               {} cycles", cfg.quantum_cycles);
+}

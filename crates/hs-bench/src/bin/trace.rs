@@ -1,0 +1,95 @@
+//! Exports a CSV temperature/activity trace of an attack episode —
+//! the raw material behind the paper's narrative timeline (heat-up,
+//! emergency, cool-down; or sedation engaging below the emergency).
+//!
+//! ```sh
+//! cargo run --release -p hs-bench --bin trace [stop-and-go|sedation] > trace.csv
+//! ```
+
+use hs_bench::config;
+use hs_core::{BlockCounts, DtmInput, SelectiveSedation, StopAndGo, ThermalPolicy};
+use hs_cpu::pipeline::FetchGate;
+use hs_cpu::{Cpu, Resource, ThreadId, ALL_RESOURCES};
+use hs_power::{calibration, resource_block, PowerModel};
+use hs_thermal::{Block, ThermalNetwork};
+use hs_workloads::{SpecWorkload, Workload};
+
+fn main() {
+    let cfg = config();
+    let which = std::env::args().nth(1).unwrap_or_else(|| "stop-and-go".into());
+    let mut policy: Box<dyn ThermalPolicy> = match which.as_str() {
+        "sedation" => Box::new(SelectiveSedation::new(cfg.sedation, 2)),
+        _ => Box::new(StopAndGo::new(cfg.sedation.thresholds)),
+    };
+
+    let mut cpu = Cpu::new(cfg.cpu, cfg.mem);
+    let victim = cpu.attach_thread(Workload::Spec(SpecWorkload::Gcc).program(cfg.time_scale));
+    let attacker = cpu.attach_thread(Workload::Variant2.program(cfg.time_scale));
+    for _ in 0..cfg.warmup_cycles {
+        cpu.tick(FetchGate::open());
+    }
+    let _ = cpu.take_access_counts();
+
+    let model = PowerModel::new(cfg.energy);
+    let mut net = ThermalNetwork::new(&cfg.thermal);
+    net.initialize_steady_state(&calibration::chip_power(&model, 2.5, 1.0, cfg.freq_hz));
+
+    let sensor = cfg.sensor_interval_cycles;
+    let sample = cfg.sedation.sample_period_cycles;
+    let dt = sensor as f64 / cfg.freq_hz;
+    let mut gate = FetchGate::open();
+    let mut stalled = false;
+    let mut power_accum = hs_cpu::AccessMatrix::new();
+    let mut temps = net.block_temps();
+
+    println!("cycle,t_intreg_k,t_spreader_k,stalled,victim_gated,attacker_gated,victim_rate,attacker_rate");
+    let steps = (cfg.quantum_cycles / sensor).min(4000);
+    for step in 1..=steps {
+        let mut block_counts = BlockCounts::new();
+        let mut rates = [0u64; 2];
+        for _ in 0..(sensor / sample) {
+            if !stalled {
+                for _ in 0..sample {
+                    cpu.tick(gate);
+                }
+            }
+            let counts = cpu.take_access_counts();
+            rates[0] += counts.get(victim, Resource::IntRegFile);
+            rates[1] += counts.get(attacker, Resource::IntRegFile);
+            for t in 0..2usize {
+                for r in ALL_RESOURCES {
+                    let n = counts.get(ThreadId(t as u8), r);
+                    if n > 0 {
+                        block_counts.add(t, resource_block(r), n);
+                    }
+                }
+            }
+            power_accum.merge(&counts);
+            let d = policy.on_sample(&DtmInput {
+                cycle: step * sensor,
+                block_temps: &temps,
+                counts: &block_counts,
+                global_stalled: stalled,
+            });
+            stalled = d.global_stall;
+            gate = d.gate;
+            block_counts.clear();
+        }
+        let power = model.power(&power_accum, sensor, cfg.freq_hz);
+        power_accum.clear();
+        net.step(dt, &power);
+        temps = net.block_temps();
+        println!(
+            "{},{:.3},{:.3},{},{},{},{:.3},{:.3}",
+            step * sensor,
+            temps[Block::IntReg.index()],
+            net.spreader_temp(),
+            u8::from(stalled),
+            u8::from(gate.is_gated(victim)),
+            u8::from(gate.is_gated(attacker)),
+            rates[0] as f64 / sensor as f64,
+            rates[1] as f64 / sensor as f64,
+        );
+    }
+    eprintln!("policy: {} — {} emergencies", policy.name(), policy.emergencies());
+}

@@ -1,0 +1,126 @@
+//! # hs-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus shared
+//! plumbing: configuration via environment variables, ASCII bar rendering,
+//! and the standard run matrix.
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 (system parameters) |
+//! | `listings` | Figures 1–2 (malicious code) |
+//! | `fig3` | Figure 3 (solo register-file access rates) |
+//! | `fig4` | Figure 4 (temperature emergencies per quantum) |
+//! | `fig5` | Figure 5 (victim IPC across 11 configurations) |
+//! | `fig6` | Figure 6 (execution-time breakdown) |
+//! | `sweep_packaging` | §5.5 (heat-sink sensitivity) |
+//! | `sweep_thresholds` | §5.6 (threshold robustness) |
+//! | `spec_pairs` | §5.7 (no false positives on SPEC+SPEC pairs) |
+//!
+//! ## Environment variables
+//!
+//! * `HS_TIME_SCALE` — thermal time-scale factor (default **50**: a 10 M
+//!   cycle quantum reproducing the 500 M-cycle dynamics; use 25 for the
+//!   EXPERIMENTS.md reference numbers, 1 for full fidelity).
+//! * `HS_SUBSET` — comma-separated benchmark names to restrict the suite
+//!   (e.g. `HS_SUBSET=gcc,eon,mcf`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hs_sim::{HeatSink, PolicyKind, RunSpec, SimConfig, SimStats};
+use hs_workloads::{SpecWorkload, Workload, SPEC_SUITE};
+
+/// The harness configuration, honoring `HS_TIME_SCALE`.
+#[must_use]
+pub fn config() -> SimConfig {
+    let scale = std::env::var("HS_TIME_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(50.0);
+    SimConfig::scaled(scale.max(1.0))
+}
+
+/// The benchmark suite, honoring `HS_SUBSET`.
+#[must_use]
+pub fn suite() -> Vec<SpecWorkload> {
+    match std::env::var("HS_SUBSET") {
+        Ok(subset) => {
+            let wanted: Vec<&str> = subset.split(',').map(str::trim).collect();
+            let picked: Vec<SpecWorkload> = SPEC_SUITE
+                .into_iter()
+                .filter(|s| wanted.contains(&s.name()))
+                .collect();
+            assert!(
+                !picked.is_empty(),
+                "HS_SUBSET={subset:?} matches no benchmark; valid names: {:?}",
+                SPEC_SUITE.map(|s| s.name())
+            );
+            picked
+        }
+        Err(_) => SPEC_SUITE.to_vec(),
+    }
+}
+
+/// Runs one workload alone under the given policy and package.
+#[must_use]
+pub fn run_solo(w: Workload, policy: PolicyKind, sink: HeatSink, cfg: SimConfig) -> SimStats {
+    RunSpec::solo(w, policy, sink, cfg).run()
+}
+
+/// Runs `victim` (thread 0) together with `other` (thread 1).
+#[must_use]
+pub fn run_pair(
+    victim: Workload,
+    other: Workload,
+    policy: PolicyKind,
+    sink: HeatSink,
+    cfg: SimConfig,
+) -> SimStats {
+    RunSpec::pair(victim, other, policy, sink, cfg).run()
+}
+
+/// Renders `value` as an ASCII bar scaled so `full` is `width` characters.
+#[must_use]
+pub fn bar(value: f64, full: f64, width: usize) -> String {
+    if full <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / full) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Prints the standard harness header for a figure.
+pub fn header(figure: &str, what: &str, cfg: &SimConfig) {
+    println!("== {figure}: {what} ==");
+    println!(
+        "   (time scale {}x, quantum {} Mcycles, suite of {} benchmarks)\n",
+        cfg.time_scale,
+        cfg.quantum_cycles / 1_000_000,
+        suite().len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        config().validate();
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########"); // clamped
+        assert_eq!(bar(0.0, 10.0, 10), "");
+    }
+
+    #[test]
+    fn full_suite_by_default() {
+        // NOTE: assumes HS_SUBSET is unset in the test environment.
+        if std::env::var("HS_SUBSET").is_err() {
+            assert_eq!(suite().len(), 16);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Pipeline configuration (paper Table 1 defaults).
+
+/// SMT fetch arbitration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FetchPolicy {
+    /// Tullsen's ICOUNT: prioritize the threads with the fewest
+    /// instructions in flight (the paper's default, and what a high-IPC
+    /// attacker exploits to monopolize fetch).
+    #[default]
+    Icount,
+    /// Strict round-robin rotation, for ablation against ICOUNT.
+    RoundRobin,
+}
+
+/// Configuration of the SMT core.
+///
+/// Defaults match Table 1 of the paper: 6-wide out-of-order issue, a
+/// 128-entry RUU and 32-entry LSQ, 2 memory ports, 2 SMT contexts, and
+/// ICOUNT fetch from up to two threads per cycle.
+///
+/// ```
+/// use hs_cpu::CpuConfig;
+/// let c = CpuConfig::default();
+/// assert_eq!(c.issue_width, 6);
+/// assert_eq!(c.ruu_size, 128);
+/// assert_eq!(c.lsq_size, 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Maximum instructions fetched per cycle (shared across threads).
+    pub fetch_width: u32,
+    /// Number of threads that may fetch in the same cycle (ICOUNT.n).
+    pub fetch_threads_per_cycle: u32,
+    /// Fetch arbitration policy.
+    pub fetch_policy: FetchPolicy,
+    /// Per-thread fetch-queue capacity.
+    pub fetch_queue_size: u32,
+    /// Maximum instructions dispatched (renamed + inserted) per cycle.
+    pub dispatch_width: u32,
+    /// Maximum instructions issued to functional units per cycle.
+    pub issue_width: u32,
+    /// Maximum instructions committed per cycle.
+    pub commit_width: u32,
+    /// Register update unit (issue queue + ROB) capacity, shared.
+    pub ruu_size: u32,
+    /// Maximum RUU entries any single thread may occupy. Prevents one
+    /// thread's long dependence/miss chain from squeezing every other
+    /// thread out of the shared window (ICOUNT throttles *fetch*, but only
+    /// an occupancy cap bounds *dispatch*).
+    pub ruu_per_thread_cap: u32,
+    /// Load/store queue capacity, shared.
+    pub lsq_size: u32,
+    /// Number of single-cycle integer ALUs.
+    pub int_alus: u32,
+    /// Number of integer multipliers.
+    pub int_muls: u32,
+    /// Number of FP adders.
+    pub fp_adds: u32,
+    /// Number of FP multiplier/dividers.
+    pub fp_muls: u32,
+    /// Number of cache ports for loads/stores.
+    pub mem_ports: u32,
+    /// Extra cycles of fetch redirect delay after a mispredicted branch
+    /// resolves.
+    pub mispredict_redirect_penalty: u32,
+    /// Number of SMT contexts.
+    pub contexts: u32,
+    /// Number of entries in the bimodal branch predictor.
+    pub bpred_entries: u32,
+    /// How many window entries (oldest first) the issue select logic can
+    /// examine per cycle — real select trees have bounded depth; this also
+    /// bounds simulation cost per cycle.
+    pub issue_scan_depth: u32,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            fetch_width: 6,
+            fetch_threads_per_cycle: 2,
+            fetch_policy: FetchPolicy::Icount,
+            fetch_queue_size: 12,
+            dispatch_width: 6,
+            issue_width: 6,
+            commit_width: 6,
+            ruu_size: 128,
+            ruu_per_thread_cap: 112,
+            lsq_size: 32,
+            int_alus: 4,
+            int_muls: 1,
+            fp_adds: 2,
+            fp_muls: 1,
+            mem_ports: 2,
+            mispredict_redirect_penalty: 2,
+            contexts: 2,
+            bpred_entries: 2048,
+            issue_scan_depth: 16,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or capacity is zero, or if `contexts` exceeds
+    /// [`crate::MAX_THREADS`].
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0, "fetch width must be nonzero");
+        assert!(self.fetch_threads_per_cycle > 0);
+        assert!(self.fetch_queue_size > 0);
+        assert!(self.dispatch_width > 0);
+        assert!(self.issue_width > 0);
+        assert!(self.commit_width > 0);
+        assert!(self.ruu_size > 0);
+        assert!(
+            (1..=self.ruu_size).contains(&self.ruu_per_thread_cap),
+            "per-thread RUU cap must be in 1..=ruu_size"
+        );
+        assert!(self.lsq_size > 0);
+        assert!(self.mem_ports > 0);
+        assert!(self.int_alus > 0);
+        assert!(self.issue_scan_depth > 0, "issue scan depth must be nonzero");
+        assert!(self.bpred_entries.is_power_of_two(), "bpred entries must be a power of two");
+        assert!(
+            (self.contexts as usize) <= crate::resources::MAX_THREADS,
+            "at most {} contexts supported",
+            crate::resources::MAX_THREADS
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CpuConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "contexts")]
+    fn too_many_contexts_rejected() {
+        let cfg = CpuConfig {
+            contexts: 9,
+            ..CpuConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_bpred_rejected() {
+        let cfg = CpuConfig {
+            bpred_entries: 1000,
+            ..CpuConfig::default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,51 @@
+//! Per-thread pipeline statistics.
+
+/// Counters for one hardware context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Instructions fetched into the fetch queue.
+    pub fetched: u64,
+    /// Instructions dispatched (renamed and inserted into the RUU).
+    pub dispatched: u64,
+    /// Instructions issued to functional units.
+    pub issued: u64,
+    /// Instructions committed (architecturally retired).
+    pub committed: u64,
+    /// Conditional branches that were mispredicted.
+    pub mispredicts: u64,
+    /// Times the thread was dispatch-blocked by the squash-on-L2-miss
+    /// optimization.
+    pub l2_miss_squashes: u64,
+    /// Cycles this thread's fetch was gated by an external control signal
+    /// (e.g. selective sedation).
+    pub gated_cycles: u64,
+}
+
+impl ThreadStats {
+    /// Committed instructions per cycle over `cycles`.
+    ///
+    /// Returns zero for a zero-cycle window.
+    #[must_use]
+    pub fn ipc(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_is_committed_over_cycles() {
+        let s = ThreadStats {
+            committed: 150,
+            ..ThreadStats::default()
+        };
+        assert!((s.ipc(100) - 1.5).abs() < 1e-12);
+        assert_eq!(s.ipc(0), 0.0);
+    }
+}

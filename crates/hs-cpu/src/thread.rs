@@ -1,0 +1,132 @@
+//! Per-context (per-thread) state: architectural state, fetch machinery,
+//! and the in-flight instruction count that drives ICOUNT.
+
+use crate::resources::ThreadId;
+use crate::stats::ThreadStats;
+use hs_isa::{ArchState, FlatMemory, InstIndex, Instruction, Program};
+use std::collections::VecDeque;
+
+/// An instruction sitting in a thread's fetch queue, together with the PC
+/// the fetch unit *predicted* would follow it. Dispatch compares this
+/// prediction with the architecturally computed next PC to detect
+/// mispredictions.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchedInst {
+    /// The instruction's index in the program.
+    pub index: InstIndex,
+    /// The decoded instruction.
+    pub inst: Instruction,
+    /// The PC the fetch unit continued at after this instruction.
+    pub predicted_next: InstIndex,
+}
+
+/// All state belonging to one SMT context.
+#[derive(Debug, Clone)]
+pub struct ThreadContext {
+    /// The context's identifier.
+    pub id: ThreadId,
+    /// The program this context runs.
+    pub program: Program,
+    /// Architectural registers + PC, updated in program order at dispatch.
+    pub arch: ArchState,
+    /// The thread's private data memory image.
+    pub memory: FlatMemory,
+    /// Speculative fetch pointer.
+    pub fetch_pc: InstIndex,
+    /// Fetched-but-not-dispatched instructions.
+    pub fetch_queue: VecDeque<FetchedInst>,
+    /// Instructions in flight (fetch queue + RUU, uncommitted) for ICOUNT.
+    pub icount: u32,
+    /// Fetch is stalled until this cycle (I-cache miss or redirect delay).
+    pub fetch_stall_until: u64,
+    /// If `Some(seq)`, fetch waits for that RUU entry (a mispredicted
+    /// branch) to complete before resuming on the correct path.
+    pub redirect_wait: Option<u64>,
+    /// Dispatch is blocked until this cycle (squash-on-L2-miss policy).
+    pub dispatch_block_until: u64,
+    /// The PC of the next instruction dispatch expects, in program order.
+    pub next_dispatch_pc: InstIndex,
+    /// Set once a `halt` dispatches; the context fetches nothing further.
+    pub halted: bool,
+    /// Pipeline statistics.
+    pub stats: ThreadStats,
+}
+
+impl ThreadContext {
+    /// Creates a fresh context at the start of `program`.
+    #[must_use]
+    pub fn new(id: ThreadId, program: Program) -> Self {
+        ThreadContext {
+            id,
+            program,
+            arch: ArchState::new(),
+            memory: FlatMemory::new(),
+            fetch_pc: InstIndex(0),
+            fetch_queue: VecDeque::new(),
+            icount: 0,
+            fetch_stall_until: 0,
+            redirect_wait: None,
+            dispatch_block_until: 0,
+            next_dispatch_pc: InstIndex(0),
+            halted: false,
+            stats: ThreadStats::default(),
+        }
+    }
+
+    /// Discards the fetch queue (mispredict or halt), adjusting `icount`.
+    pub fn flush_fetch_queue(&mut self) {
+        self.icount -= self.fetch_queue.len() as u32;
+        self.fetch_queue.clear();
+    }
+
+    /// Whether this context can accept fetched instructions this cycle.
+    #[must_use]
+    pub fn can_fetch(&self, cycle: u64, queue_capacity: u32) -> bool {
+        !self.halted
+            && self.redirect_wait.is_none()
+            && self.fetch_stall_until <= cycle
+            && (self.fetch_queue.len() as u32) < queue_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_isa::ProgramBuilder;
+
+    fn nop_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fresh_context_can_fetch() {
+        let t = ThreadContext::new(ThreadId(0), nop_program());
+        assert!(t.can_fetch(0, 4));
+        assert_eq!(t.icount, 0);
+    }
+
+    #[test]
+    fn stalled_context_cannot_fetch() {
+        let mut t = ThreadContext::new(ThreadId(0), nop_program());
+        t.fetch_stall_until = 10;
+        assert!(!t.can_fetch(5, 4));
+        assert!(t.can_fetch(10, 4));
+    }
+
+    #[test]
+    fn flush_adjusts_icount() {
+        let mut t = ThreadContext::new(ThreadId(0), nop_program());
+        let inst = *t.program.get(InstIndex(0)).unwrap();
+        t.fetch_queue.push_back(FetchedInst {
+            index: InstIndex(0),
+            inst,
+            predicted_next: InstIndex(1),
+        });
+        t.icount = 3; // 1 in queue + 2 in RUU
+        t.flush_fetch_queue();
+        assert_eq!(t.icount, 2);
+        assert!(t.fetch_queue.is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! A small text assembler for the ISA.
+//!
+//! Accepts exactly the syntax that [`crate::Program::listing`] produces —
+//! so `assemble(program.listing())` round-trips — plus comments (`;` or
+//! `#` to end of line) and blank lines. The paper's malicious kernels can
+//! be written down literally:
+//!
+//! ```
+//! use hs_isa::asm::assemble;
+//!
+//! // Figure 1 of the paper.
+//! let program = assemble(r"
+//! L0:
+//!     addl $1, $2, $3
+//!     addl $4, $2, $3
+//!     br L0
+//! ").unwrap();
+//! assert_eq!(program.len(), 3);
+//! ```
+
+use crate::inst::{AluOp, BranchCond, FpOp, Instruction, Kind, Operand};
+use crate::program::{InstIndex, Program};
+use crate::reg::{FpReg, IntReg, NUM_FP_REGS, NUM_INT_REGS};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Assembles source text into a [`Program`] (code base 0x1000).
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for unknown mnemonics,
+/// malformed operands, out-of-range registers, duplicate or undefined
+/// labels.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: strip comments, record labels and raw instruction lines.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut text = raw;
+        if let Some(i) = text.find([';', '#']) {
+            text = &text[..i];
+        }
+        let mut rest = text.trim();
+        // A line may carry several labels before the instruction.
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(lineno, format!("malformed label {label:?}")));
+            }
+            if labels.insert(label.to_string(), lines.len() as u32).is_some() {
+                return Err(err(lineno, format!("duplicate label {label:?}")));
+            }
+            rest = tail[1..].trim();
+        }
+        if !rest.is_empty() {
+            lines.push((lineno, rest.to_string()));
+        }
+    }
+
+    // Pass 2: parse instructions.
+    let mut insts = Vec::with_capacity(lines.len());
+    for (lineno, text) in &lines {
+        insts.push(parse_inst(*lineno, text, &labels)?);
+    }
+    if insts.is_empty() {
+        return Err(err(0, "no instructions"));
+    }
+    Ok(Program::from_instructions(insts, 0x1000))
+}
+
+fn parse_inst(
+    line: usize,
+    text: &str,
+    labels: &HashMap<String, u32>,
+) -> Result<Instruction, AsmError> {
+    let (mnemonic, rest) = text
+        .split_once(char::is_whitespace)
+        .map_or((text, ""), |(m, r)| (m, r));
+    let ops: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+
+    let alu = |op: AluOp| -> Result<Instruction, AsmError> {
+        expect_ops(line, &ops, 3)?;
+        Ok(Instruction::new(Kind::IntAlu {
+            op,
+            rd: int_reg(line, ops[0])?,
+            rs1: int_reg(line, ops[1])?,
+            src2: operand(line, ops[2])?,
+        }))
+    };
+    let fp = |op: FpOp| -> Result<Instruction, AsmError> {
+        expect_ops(line, &ops, 3)?;
+        Ok(Instruction::new(Kind::FpAlu {
+            op,
+            fd: fp_reg(line, ops[0])?,
+            fs1: fp_reg(line, ops[1])?,
+            fs2: fp_reg(line, ops[2])?,
+        }))
+    };
+    let branch = |cond: BranchCond| -> Result<Instruction, AsmError> {
+        expect_ops(line, &ops, 3)?;
+        Ok(Instruction::new(Kind::Branch {
+            cond,
+            rs1: int_reg(line, ops[0])?,
+            src2: operand(line, ops[1])?,
+            target: label_target(line, ops[2], labels)?,
+        }))
+    };
+
+    match mnemonic {
+        "addl" => alu(AluOp::Add),
+        "subl" => alu(AluOp::Sub),
+        "and" => alu(AluOp::And),
+        "or" => alu(AluOp::Or),
+        "xor" => alu(AluOp::Xor),
+        "sll" => alu(AluOp::Shl),
+        "srl" => alu(AluOp::Shr),
+        "mull" => alu(AluOp::Mul),
+        "cmplt" => alu(AluOp::CmpLt),
+        "cmpeq" => alu(AluOp::CmpEq),
+        "addt" => fp(FpOp::Add),
+        "subt" => fp(FpOp::Sub),
+        "mult" => fp(FpOp::Mul),
+        "divt" => fp(FpOp::Div),
+        "ldq" => {
+            expect_ops(line, &ops, 2)?;
+            let (offset, base) = mem_operand(line, ops[1])?;
+            Ok(Instruction::new(Kind::Load {
+                rd: int_reg(line, ops[0])?,
+                base,
+                offset,
+            }))
+        }
+        "stq" => {
+            expect_ops(line, &ops, 2)?;
+            let (offset, base) = mem_operand(line, ops[1])?;
+            Ok(Instruction::new(Kind::Store {
+                src: int_reg(line, ops[0])?,
+                base,
+                offset,
+            }))
+        }
+        "beq" => branch(BranchCond::Eq),
+        "bne" => branch(BranchCond::Ne),
+        "blt" => branch(BranchCond::Lt),
+        "bge" => branch(BranchCond::Ge),
+        "br" => {
+            expect_ops(line, &ops, 1)?;
+            Ok(Instruction::new(Kind::Jump {
+                target: label_target(line, ops[0], labels)?,
+            }))
+        }
+        "nop" => {
+            expect_ops(line, &ops, 0)?;
+            Ok(Instruction::new(Kind::Nop))
+        }
+        "halt" => {
+            expect_ops(line, &ops, 0)?;
+            Ok(Instruction::new(Kind::Halt))
+        }
+        other => Err(err(line, format!("unknown mnemonic {other:?}"))),
+    }
+}
+
+fn expect_ops(line: usize, ops: &[&str], n: usize) -> Result<(), AsmError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(err(
+            line,
+            format!("expected {n} operands, found {}", ops.len()),
+        ))
+    }
+}
+
+fn int_reg(line: usize, s: &str) -> Result<IntReg, AsmError> {
+    let idx = s
+        .strip_prefix('$')
+        .filter(|r| !r.starts_with('f'))
+        .and_then(|r| r.parse::<usize>().ok())
+        .ok_or_else(|| err(line, format!("expected integer register, found {s:?}")))?;
+    if idx >= NUM_INT_REGS {
+        return Err(err(line, format!("register ${idx} out of range")));
+    }
+    Ok(IntReg::new(idx as u8))
+}
+
+fn fp_reg(line: usize, s: &str) -> Result<FpReg, AsmError> {
+    let idx = s
+        .strip_prefix("$f")
+        .and_then(|r| r.parse::<usize>().ok())
+        .ok_or_else(|| err(line, format!("expected fp register, found {s:?}")))?;
+    if idx >= NUM_FP_REGS {
+        return Err(err(line, format!("register $f{idx} out of range")));
+    }
+    Ok(FpReg::new(idx as u8))
+}
+
+fn operand(line: usize, s: &str) -> Result<Operand, AsmError> {
+    if s.starts_with('$') {
+        Ok(Operand::Reg(int_reg(line, s)?))
+    } else {
+        s.parse::<u64>()
+            .map(Operand::Imm)
+            .map_err(|_| err(line, format!("expected register or immediate, found {s:?}")))
+    }
+}
+
+/// Parses `offset($base)`.
+fn mem_operand(line: usize, s: &str) -> Result<(i64, IntReg), AsmError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected offset($reg), found {s:?}")))?;
+    let close = s
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, format!("missing ')' in {s:?}")))?;
+    let offset_text = &s[..open];
+    let offset = if offset_text.is_empty() {
+        0
+    } else {
+        offset_text
+            .parse::<i64>()
+            .map_err(|_| err(line, format!("bad offset {offset_text:?}")))?
+    };
+    Ok((offset, int_reg(line, &close[open + 1..])?))
+}
+
+fn label_target(
+    line: usize,
+    s: &str,
+    labels: &HashMap<String, u32>,
+) -> Result<InstIndex, AsmError> {
+    labels
+        .get(s)
+        .map(|&i| InstIndex(i))
+        .ok_or_else(|| err(line, format!("undefined label {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    #[test]
+    fn figure_1_kernel_assembles_and_runs() {
+        let p = assemble(
+            r"
+            ; Figure 1: independent adds, forever
+            L1:
+                addl $1, $2, $3
+                addl $4, $2, $3
+                br L1
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new(p);
+        assert_eq!(m.run(1000), 1000);
+    }
+
+    #[test]
+    fn all_mnemonics_parse() {
+        let p = assemble(
+            r"
+            top:
+                addl $1, $2, 7
+                subl $1, $2, $3
+                and $1, $2, $3
+                or $1, $2, $3
+                xor $1, $2, $3
+                sll $1, $2, 3
+                srl $1, $2, 3
+                mull $1, $2, $3
+                cmplt $1, $2, $3
+                cmpeq $1, $2, 9
+                addt $f1, $f2, $f3
+                subt $f1, $f2, $f3
+                mult $f1, $f2, $f3
+                divt $f1, $f2, $f3
+                ldq $4, 16($5)
+                stq $4, -8($5)
+                beq $1, 0, top
+                bne $1, $2, top
+                blt $1, 7, end
+                bge $1, $2, top
+                br top
+            end:
+                nop
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 23);
+    }
+
+    #[test]
+    fn listing_roundtrips() {
+        let src = r"
+            L0:
+                addl $1, $1, 1
+                ldq $4, 0($16)
+                stq $4, 8($16)
+                blt $1, 100, L0
+                halt
+        ";
+        let p1 = assemble(src).unwrap();
+        let p2 = assemble(&p1.listing()).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("# header\n\n  nop ; trailing\n\nhalt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let p = assemble("br end\nnop\nend: halt").unwrap();
+        assert_eq!(p.get(InstIndex(0)).unwrap().target(), Some(InstIndex(2)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus $1, $2\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let e = assemble("br nowhere").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let e = assemble("x: nop\nx: halt").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn register_bounds_checked() {
+        assert!(assemble("addl $32, $0, 1").is_err());
+        assert!(assemble("addt $f40, $f0, $f1").is_err());
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert!(assemble("; nothing\n").is_err());
+    }
+
+    #[test]
+    fn machine_semantics_match_builder_built_program() {
+        // The same loop written in text and via the builder must produce
+        // identical architectural results.
+        let text = assemble(
+            "loop:\n addl $1, $1, 1\n blt $1, 10, loop\n halt",
+        )
+        .unwrap();
+        let mut b = crate::ProgramBuilder::new();
+        let top = b.label();
+        b.addi(IntReg::new(1), IntReg::new(1), 1);
+        b.branch(
+            BranchCond::Lt,
+            IntReg::new(1),
+            Operand::Imm(10),
+            top,
+        );
+        b.halt();
+        let built = b.build().unwrap();
+
+        let mut m1 = Machine::new(text);
+        let mut m2 = Machine::new(built);
+        m1.run(10_000);
+        m2.run(10_000);
+        assert_eq!(m1.retired(), m2.retired());
+        assert_eq!(m1.state().int_regs, m2.state().int_regs);
+    }
+}

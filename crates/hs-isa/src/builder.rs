@@ -1,0 +1,279 @@
+//! A small assembler-style builder for [`Program`]s with forward labels.
+
+use crate::inst::{AluOp, BranchCond, FpOp, Instruction, Kind, Operand};
+use crate::program::{InstIndex, Program};
+use crate::reg::{FpReg, IntReg};
+use std::error::Error;
+use std::fmt;
+
+/// A label handle produced by [`ProgramBuilder::label`] or
+/// [`ProgramBuilder::forward_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced when finalizing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A forward label was referenced by a branch but never bound with
+    /// [`ProgramBuilder::bind`].
+    UnboundLabel(Label),
+    /// The program contains no instructions.
+    Empty,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+            BuildError::Empty => f.write_str("program has no instructions"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Incrementally builds a [`Program`].
+///
+/// Labels may be created at the current position ([`ProgramBuilder::label`])
+/// or ahead of time ([`ProgramBuilder::forward_label`], later bound with
+/// [`ProgramBuilder::bind`]).
+///
+/// ```
+/// # use hs_isa::*;
+/// let mut b = ProgramBuilder::new();
+/// let loop_top = b.label();
+/// b.int_alu(AluOp::Add, IntReg::new(1), IntReg::new(1), Operand::Imm(1));
+/// b.branch(BranchCond::Lt, IntReg::new(1), Operand::Imm(100), loop_top);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 3);
+/// # Ok::<(), BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Instruction>,
+    labels: Vec<Option<u32>>,
+    code_base: u64,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with code base address 0x1000.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder {
+            insts: Vec::new(),
+            labels: Vec::new(),
+            code_base: 0x1000,
+        }
+    }
+
+    /// Sets the base address the code will be "loaded" at.
+    pub fn code_base(&mut self, base: u64) -> &mut Self {
+        self.code_base = base;
+        self
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Creates a label bound to the *current* position.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.labels.len());
+        self.labels.push(Some(self.insts.len() as u32));
+        l
+    }
+
+    /// Creates an unbound forward label; bind it later with [`Self::bind`].
+    pub fn forward_label(&mut self) -> Label {
+        let l = Label(self.labels.len());
+        self.labels.push(None);
+        l
+    }
+
+    /// Binds a forward label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insts.len() as u32);
+        self
+    }
+
+    /// Emits a raw instruction. Branch kinds must go through
+    /// [`Self::branch`]/[`Self::jump`] so their targets use labels.
+    pub fn push(&mut self, inst: Instruction) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Emits an integer ALU operation.
+    pub fn int_alu(&mut self, op: AluOp, rd: IntReg, rs1: IntReg, src2: Operand) -> &mut Self {
+        self.push(Instruction::new(Kind::IntAlu { op, rd, rs1, src2 }))
+    }
+
+    /// Emits `rd <- rs1 + imm` (the `addl` of the paper's Figure 1).
+    pub fn addi(&mut self, rd: IntReg, rs1: IntReg, imm: u64) -> &mut Self {
+        self.int_alu(AluOp::Add, rd, rs1, Operand::Imm(imm))
+    }
+
+    /// Emits `rd <- imm` (encoded as `add rd, $0, imm`).
+    pub fn load_imm(&mut self, rd: IntReg, imm: u64) -> &mut Self {
+        self.int_alu(AluOp::Add, rd, IntReg::ZERO, Operand::Imm(imm))
+    }
+
+    /// Emits an FP operation.
+    pub fn fp_alu(&mut self, op: FpOp, fd: FpReg, fs1: FpReg, fs2: FpReg) -> &mut Self {
+        self.push(Instruction::new(Kind::FpAlu { op, fd, fs1, fs2 }))
+    }
+
+    /// Emits a 64-bit load.
+    pub fn load(&mut self, rd: IntReg, base: IntReg, offset: i64) -> &mut Self {
+        self.push(Instruction::new(Kind::Load { rd, base, offset }))
+    }
+
+    /// Emits a 64-bit store.
+    pub fn store(&mut self, src: IntReg, base: IntReg, offset: i64) -> &mut Self {
+        self.push(Instruction::new(Kind::Store { src, base, offset }))
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: IntReg, src2: Operand, label: Label) -> &mut Self {
+        // Encode the label index; patched to a real target in `build`.
+        self.push(Instruction::new(Kind::Branch {
+            cond,
+            rs1,
+            src2,
+            target: InstIndex(label.0 as u32),
+        }))
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.push(Instruction::new(Kind::Jump {
+            target: InstIndex(label.0 as u32),
+        }))
+    }
+
+    /// Emits a `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instruction::new(Kind::Nop))
+    }
+
+    /// Emits a `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instruction::new(Kind::Halt))
+    }
+
+    /// Finalizes the program, resolving all label references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnboundLabel`] if a referenced forward label was
+    /// never bound, and [`BuildError::Empty`] for an empty program.
+    pub fn build(self) -> Result<Program, BuildError> {
+        if self.insts.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        let mut insts = self.insts;
+        for inst in &mut insts {
+            let patched = match *inst.kind() {
+                Kind::Branch {
+                    cond,
+                    rs1,
+                    src2,
+                    target,
+                } => {
+                    let resolved = self.labels[target.as_usize()]
+                        .ok_or(BuildError::UnboundLabel(Label(target.as_usize())))?;
+                    Some(Kind::Branch {
+                        cond,
+                        rs1,
+                        src2,
+                        target: InstIndex(resolved),
+                    })
+                }
+                Kind::Jump { target } => {
+                    let resolved = self.labels[target.as_usize()]
+                        .ok_or(BuildError::UnboundLabel(Label(target.as_usize())))?;
+                    Some(Kind::Jump {
+                        target: InstIndex(resolved),
+                    })
+                }
+                _ => None,
+            };
+            if let Some(kind) = patched {
+                *inst = Instruction::new(kind);
+            }
+        }
+        Ok(Program::from_instructions(insts, self.code_base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_branch_resolves() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.nop();
+        b.jump(top);
+        let p = b.build().unwrap();
+        assert_eq!(p.get(InstIndex(1)).unwrap().target(), Some(InstIndex(0)));
+    }
+
+    #[test]
+    fn forward_branch_resolves() {
+        let mut b = ProgramBuilder::new();
+        let end = b.forward_label();
+        b.branch(BranchCond::Eq, IntReg::ZERO, Operand::Imm(0), end);
+        b.nop();
+        b.bind(end);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.get(InstIndex(0)).unwrap().target(), Some(InstIndex(2)));
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut b = ProgramBuilder::new();
+        let end = b.forward_label();
+        b.jump(end);
+        assert!(matches!(b.build(), Err(BuildError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn empty_program_is_error() {
+        assert_eq!(ProgramBuilder::new().build(), Err(BuildError::Empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+    }
+
+    #[test]
+    fn code_base_applies() {
+        let mut b = ProgramBuilder::new();
+        b.code_base(0x8000);
+        b.nop();
+        let p = b.build().unwrap();
+        assert_eq!(p.inst_addr(InstIndex(0)), 0x8000);
+    }
+}

@@ -1,0 +1,566 @@
+//! Instruction definitions.
+//!
+//! Instructions are small `Copy`-able values. Each instruction knows which
+//! registers it reads and writes, which functional-unit class executes it,
+//! and how many integer-register-file ports it touches — the last of these
+//! is the quantity the heat-stroke attack maximizes.
+
+use crate::program::InstIndex;
+use crate::reg::{FpReg, IntReg};
+use std::fmt;
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (by `rhs & 63`).
+    Shl,
+    /// Logical shift right (by `rhs & 63`).
+    Shr,
+    /// Wrapping multiplication (executes on the integer multiplier).
+    Mul,
+    /// Set to 1 if `lhs < rhs` (unsigned), else 0.
+    CmpLt,
+    /// Set to 1 if `lhs == rhs`, else 0.
+    CmpEq,
+}
+
+impl AluOp {
+    /// Whether the operation uses the (long-latency) integer multiplier
+    /// rather than a single-cycle ALU.
+    #[must_use]
+    pub fn is_mul(self) -> bool {
+        matches!(self, AluOp::Mul)
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "addl",
+            AluOp::Sub => "subl",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "sll",
+            AluOp::Shr => "srl",
+            AluOp::Mul => "mull",
+            AluOp::CmpLt => "cmplt",
+            AluOp::CmpEq => "cmpeq",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Addition (FP adder).
+    Add,
+    /// Subtraction (FP adder).
+    Sub,
+    /// Multiplication (FP multiplier).
+    Mul,
+    /// Division (FP multiplier, long latency).
+    Div,
+}
+
+impl FpOp {
+    /// Whether the operation executes on the FP multiplier unit.
+    #[must_use]
+    pub fn uses_multiplier(self) -> bool {
+        matches!(self, FpOp::Mul | FpOp::Div)
+    }
+}
+
+impl fmt::Display for FpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FpOp::Add => "addt",
+            FpOp::Sub => "subt",
+            FpOp::Mul => "mult",
+            FpOp::Div => "divt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch conditions comparing `lhs` against `rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Taken if equal.
+    Eq,
+    /// Taken if not equal.
+    Ne,
+    /// Taken if `lhs < rhs` (unsigned).
+    Lt,
+    /// Taken if `lhs >= rhs` (unsigned).
+    Ge,
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The second source operand of an integer instruction: a register or an
+/// immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register source.
+    Reg(IntReg),
+    /// An immediate constant.
+    Imm(u64),
+}
+
+impl Operand {
+    /// Returns the register if this operand is a register.
+    #[must_use]
+    pub fn reg(self) -> Option<IntReg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<IntReg> for Operand {
+    fn from(r: IntReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(i: u64) -> Self {
+        Operand::Imm(i)
+    }
+}
+
+/// The functional-unit class an instruction executes on. The SMT pipeline
+/// uses this for issue-port arbitration; the power model uses it to attribute
+/// switching energy to floorplan blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Single-cycle integer ALU.
+    IntAlu,
+    /// Long-latency integer multiplier.
+    IntMul,
+    /// Floating-point adder.
+    FpAdd,
+    /// Floating-point multiplier / divider.
+    FpMul,
+    /// Load/store port (address generation + cache access).
+    MemPort,
+    /// Branch unit (executes on an integer ALU but also reads the branch
+    /// predictor state).
+    Branch,
+    /// No functional unit (e.g. `Nop`, `Halt`).
+    None,
+}
+
+/// Instruction payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// `rd <- op(rs1, src2)` on an integer ALU or multiplier.
+    IntAlu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: IntReg,
+        /// First source register.
+        rs1: IntReg,
+        /// Second source operand.
+        src2: Operand,
+    },
+    /// `fd <- op(fs1, fs2)` on an FP unit.
+    FpAlu {
+        /// Operation.
+        op: FpOp,
+        /// Destination FP register.
+        fd: FpReg,
+        /// First FP source.
+        fs1: FpReg,
+        /// Second FP source.
+        fs2: FpReg,
+    },
+    /// `rd <- mem[rs_base + offset]` (64-bit load).
+    Load {
+        /// Destination register.
+        rd: IntReg,
+        /// Base address register.
+        base: IntReg,
+        /// Signed byte offset.
+        offset: i64,
+    },
+    /// `mem[rs_base + offset] <- rs_val` (64-bit store).
+    Store {
+        /// Value register.
+        src: IntReg,
+        /// Base address register.
+        base: IntReg,
+        /// Signed byte offset.
+        offset: i64,
+    },
+    /// Conditional direct branch to `target` comparing `rs1` and `src2`.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First comparison source.
+        rs1: IntReg,
+        /// Second comparison source.
+        src2: Operand,
+        /// Target instruction index.
+        target: InstIndex,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Target instruction index.
+        target: InstIndex,
+    },
+    /// No operation.
+    Nop,
+    /// Stops the thread. A halted thread commits nothing further.
+    Halt,
+}
+
+/// A single instruction.
+///
+/// ```
+/// use hs_isa::{Instruction, Kind, AluOp, IntReg, Operand};
+///
+/// let i = Instruction::new(Kind::IntAlu {
+///     op: AluOp::Add,
+///     rd: IntReg::new(1),
+///     rs1: IntReg::new(2),
+///     src2: Operand::Reg(IntReg::new(3)),
+/// });
+/// assert_eq!(i.int_reg_reads(), 2);
+/// assert_eq!(i.int_reg_writes(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    kind: Kind,
+}
+
+impl Instruction {
+    /// Wraps a [`Kind`] as an instruction.
+    #[must_use]
+    pub fn new(kind: Kind) -> Self {
+        Instruction { kind }
+    }
+
+    /// The instruction payload.
+    #[must_use]
+    pub fn kind(&self) -> &Kind {
+        &self.kind
+    }
+
+    /// Functional-unit class this instruction occupies at issue.
+    #[must_use]
+    pub fn fu_class(&self) -> FuClass {
+        match self.kind {
+            Kind::IntAlu { op, .. } if op.is_mul() => FuClass::IntMul,
+            Kind::IntAlu { .. } => FuClass::IntAlu,
+            Kind::FpAlu { op, .. } if op.uses_multiplier() => FuClass::FpMul,
+            Kind::FpAlu { .. } => FuClass::FpAdd,
+            Kind::Load { .. } | Kind::Store { .. } => FuClass::MemPort,
+            Kind::Branch { .. } | Kind::Jump { .. } => FuClass::Branch,
+            Kind::Nop | Kind::Halt => FuClass::None,
+        }
+    }
+
+    /// Execution latency in cycles once issued (cache misses add more for
+    /// memory operations).
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        match self.kind {
+            Kind::IntAlu { op, .. } if op.is_mul() => 3,
+            Kind::IntAlu { .. } => 1,
+            Kind::FpAlu { op: FpOp::Div, .. } => 12,
+            Kind::FpAlu { op, .. } if op.uses_multiplier() => 4,
+            Kind::FpAlu { .. } => 2,
+            // Address generation; the cache adds its own latency.
+            Kind::Load { .. } | Kind::Store { .. } => 1,
+            Kind::Branch { .. } | Kind::Jump { .. } => 1,
+            Kind::Nop | Kind::Halt => 1,
+        }
+    }
+
+    /// Integer registers read by this instruction, in operand order.
+    /// Reads of the hard-wired zero register still occupy a register-file
+    /// read port and are therefore included.
+    #[must_use]
+    pub fn int_sources(&self) -> [Option<IntReg>; 2] {
+        match self.kind {
+            Kind::IntAlu { rs1, src2, .. } => [Some(rs1), src2.reg()],
+            Kind::Load { base, .. } => [Some(base), None],
+            Kind::Store { src, base, .. } => [Some(base), Some(src)],
+            Kind::Branch { rs1, src2, .. } => [Some(rs1), src2.reg()],
+            Kind::FpAlu { .. } | Kind::Jump { .. } | Kind::Nop | Kind::Halt => [None, None],
+        }
+    }
+
+    /// Integer register written by this instruction, if any.
+    #[must_use]
+    pub fn int_dest(&self) -> Option<IntReg> {
+        match self.kind {
+            Kind::IntAlu { rd, .. } | Kind::Load { rd, .. } => {
+                if rd.is_zero() {
+                    None
+                } else {
+                    Some(rd)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Floating-point registers read, in operand order.
+    #[must_use]
+    pub fn fp_sources(&self) -> [Option<FpReg>; 2] {
+        match self.kind {
+            Kind::FpAlu { fs1, fs2, .. } => [Some(fs1), Some(fs2)],
+            _ => [None, None],
+        }
+    }
+
+    /// Floating-point register written, if any.
+    #[must_use]
+    pub fn fp_dest(&self) -> Option<FpReg> {
+        match self.kind {
+            Kind::FpAlu { fd, .. } => Some(fd),
+            _ => None,
+        }
+    }
+
+    /// Number of integer register-file read ports this instruction occupies.
+    #[must_use]
+    pub fn int_reg_reads(&self) -> u32 {
+        self.int_sources().iter().flatten().count() as u32
+    }
+
+    /// Number of integer register-file write ports this instruction occupies.
+    #[must_use]
+    pub fn int_reg_writes(&self) -> u32 {
+        u32::from(self.int_dest().is_some())
+    }
+
+    /// Number of FP register-file read ports occupied.
+    #[must_use]
+    pub fn fp_reg_reads(&self) -> u32 {
+        self.fp_sources().iter().flatten().count() as u32
+    }
+
+    /// Number of FP register-file write ports occupied.
+    #[must_use]
+    pub fn fp_reg_writes(&self) -> u32 {
+        u32::from(self.fp_dest().is_some())
+    }
+
+    /// Whether this is a control-flow instruction (branch or jump).
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(self.kind, Kind::Branch { .. } | Kind::Jump { .. })
+    }
+
+    /// Whether this is a conditional branch.
+    #[must_use]
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self.kind, Kind::Branch { .. })
+    }
+
+    /// Whether this is a memory access.
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        matches!(self.kind, Kind::Load { .. } | Kind::Store { .. })
+    }
+
+    /// Whether this is a load.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        matches!(self.kind, Kind::Load { .. })
+    }
+
+    /// Whether this is a store.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, Kind::Store { .. })
+    }
+
+    /// Whether this instruction halts the thread.
+    #[must_use]
+    pub fn is_halt(&self) -> bool {
+        matches!(self.kind, Kind::Halt)
+    }
+
+    /// The static control-flow target, if this is a direct branch or jump.
+    #[must_use]
+    pub fn target(&self) -> Option<InstIndex> {
+        match self.kind {
+            Kind::Branch { target, .. } | Kind::Jump { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            Kind::IntAlu { op, rd, rs1, src2 } => write!(f, "{op} {rd}, {rs1}, {src2}"),
+            Kind::FpAlu { op, fd, fs1, fs2 } => write!(f, "{op} {fd}, {fs1}, {fs2}"),
+            Kind::Load { rd, base, offset } => write!(f, "ldq {rd}, {offset}({base})"),
+            Kind::Store { src, base, offset } => write!(f, "stq {src}, {offset}({base})"),
+            Kind::Branch {
+                cond,
+                rs1,
+                src2,
+                target,
+            } => write!(f, "{cond} {rs1}, {src2}, L{}", target.0),
+            Kind::Jump { target } => write!(f, "br L{}", target.0),
+            Kind::Nop => f.write_str("nop"),
+            Kind::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(rd: u8, rs1: u8, rs2: u8) -> Instruction {
+        Instruction::new(Kind::IntAlu {
+            op: AluOp::Add,
+            rd: IntReg::new(rd),
+            rs1: IntReg::new(rs1),
+            src2: Operand::Reg(IntReg::new(rs2)),
+        })
+    }
+
+    #[test]
+    fn alu_register_ports() {
+        let i = add(1, 2, 3);
+        assert_eq!(i.int_reg_reads(), 2);
+        assert_eq!(i.int_reg_writes(), 1);
+        assert_eq!(i.fu_class(), FuClass::IntAlu);
+    }
+
+    #[test]
+    fn alu_immediate_uses_one_read_port() {
+        let i = Instruction::new(Kind::IntAlu {
+            op: AluOp::Add,
+            rd: IntReg::new(1),
+            rs1: IntReg::new(2),
+            src2: Operand::Imm(7),
+        });
+        assert_eq!(i.int_reg_reads(), 1);
+    }
+
+    #[test]
+    fn write_to_zero_register_is_discarded() {
+        let i = add(0, 1, 2);
+        assert_eq!(i.int_dest(), None);
+        assert_eq!(i.int_reg_writes(), 0);
+    }
+
+    #[test]
+    fn mul_goes_to_multiplier() {
+        let i = Instruction::new(Kind::IntAlu {
+            op: AluOp::Mul,
+            rd: IntReg::new(1),
+            rs1: IntReg::new(2),
+            src2: Operand::Imm(3),
+        });
+        assert_eq!(i.fu_class(), FuClass::IntMul);
+        assert!(i.latency() > 1);
+    }
+
+    #[test]
+    fn load_store_classification() {
+        let ld = Instruction::new(Kind::Load {
+            rd: IntReg::new(4),
+            base: IntReg::new(5),
+            offset: 16,
+        });
+        let st = Instruction::new(Kind::Store {
+            src: IntReg::new(4),
+            base: IntReg::new(5),
+            offset: -8,
+        });
+        assert!(ld.is_load() && ld.is_mem() && !ld.is_store());
+        assert!(st.is_store() && st.is_mem() && !st.is_load());
+        assert_eq!(ld.int_reg_reads(), 1);
+        assert_eq!(ld.int_reg_writes(), 1);
+        assert_eq!(st.int_reg_reads(), 2);
+        assert_eq!(st.int_reg_writes(), 0);
+    }
+
+    #[test]
+    fn fp_ports() {
+        let i = Instruction::new(Kind::FpAlu {
+            op: FpOp::Mul,
+            fd: FpReg::new(1),
+            fs1: FpReg::new(2),
+            fs2: FpReg::new(3),
+        });
+        assert_eq!(i.fp_reg_reads(), 2);
+        assert_eq!(i.fp_reg_writes(), 1);
+        assert_eq!(i.int_reg_reads(), 0);
+        assert_eq!(i.fu_class(), FuClass::FpMul);
+    }
+
+    #[test]
+    fn control_flow_targets() {
+        let b = Instruction::new(Kind::Branch {
+            cond: BranchCond::Ne,
+            rs1: IntReg::new(1),
+            src2: Operand::Imm(0),
+            target: InstIndex(5),
+        });
+        assert!(b.is_control() && b.is_cond_branch());
+        assert_eq!(b.target(), Some(InstIndex(5)));
+        let j = Instruction::new(Kind::Jump {
+            target: InstIndex(0),
+        });
+        assert!(j.is_control() && !j.is_cond_branch());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let insts = [
+            add(1, 2, 3),
+            Instruction::new(Kind::Nop),
+            Instruction::new(Kind::Halt),
+            Instruction::new(Kind::Jump {
+                target: InstIndex(0),
+            }),
+        ];
+        for i in insts {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

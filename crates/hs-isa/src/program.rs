@@ -1,0 +1,193 @@
+//! Programs: immutable instruction sequences with code addresses.
+
+use crate::inst::Instruction;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of an instruction within a [`Program`].
+///
+/// Control-flow targets are instruction indices rather than byte addresses;
+/// [`Program::inst_addr`] maps an index to a byte address for instruction-
+/// cache modelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InstIndex(pub u32);
+
+impl InstIndex {
+    /// The index as a `usize`.
+    #[must_use]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next sequential instruction index.
+    #[must_use]
+    pub fn next(self) -> InstIndex {
+        InstIndex(self.0 + 1)
+    }
+}
+
+impl fmt::Display for InstIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Size in bytes of one encoded instruction (for I-cache address modelling).
+pub const INST_BYTES: u64 = 4;
+
+/// An immutable program: a sequence of instructions plus the base address its
+/// code is "loaded" at. Cloning is cheap (the instruction vector is shared).
+///
+/// ```
+/// use hs_isa::{Program, Instruction, Kind};
+/// let p = Program::from_instructions(vec![Instruction::new(Kind::Nop)], 0x1000);
+/// assert_eq!(p.len(), 1);
+/// assert_eq!(p.inst_addr(hs_isa::InstIndex(0)), 0x1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Arc<Vec<Instruction>>,
+    code_base: u64,
+}
+
+impl Program {
+    /// Builds a program from raw instructions with code loaded at
+    /// `code_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any direct control-flow target is out of range, since such a
+    /// program can never execute meaningfully. Use [`crate::ProgramBuilder`]
+    /// to construct programs with checked labels.
+    #[must_use]
+    pub fn from_instructions(insts: Vec<Instruction>, code_base: u64) -> Self {
+        for (i, inst) in insts.iter().enumerate() {
+            if let Some(t) = inst.target() {
+                assert!(
+                    t.as_usize() < insts.len(),
+                    "instruction {i} targets out-of-range index {t}"
+                );
+            }
+        }
+        Program {
+            insts: Arc::new(insts),
+            code_base,
+        }
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `index`, or `None` past the end.
+    #[must_use]
+    pub fn get(&self, index: InstIndex) -> Option<&Instruction> {
+        self.insts.get(index.as_usize())
+    }
+
+    /// Byte address of the instruction at `index` (for I-cache modelling).
+    #[must_use]
+    pub fn inst_addr(&self, index: InstIndex) -> u64 {
+        self.code_base + u64::from(index.0) * INST_BYTES
+    }
+
+    /// The base address the code is loaded at.
+    #[must_use]
+    pub fn code_base(&self) -> u64 {
+        self.code_base
+    }
+
+    /// Iterates over `(index, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (InstIndex, &Instruction)> {
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (InstIndex(i as u32), inst))
+    }
+
+    /// A textual listing of the program, one instruction per line, with
+    /// branch-target labels rendered as `L<n>:` prefixes.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        use std::collections::BTreeSet;
+        let targets: BTreeSet<usize> = self
+            .insts
+            .iter()
+            .filter_map(|i| i.target())
+            .map(InstIndex::as_usize)
+            .collect();
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            if targets.contains(&i) {
+                out.push_str(&format!("L{i}:\n"));
+            }
+            out.push_str(&format!("    {inst}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.listing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Instruction, Kind};
+
+    #[test]
+    fn addressing() {
+        let p = Program::from_instructions(
+            vec![Instruction::new(Kind::Nop), Instruction::new(Kind::Nop)],
+            0x4000,
+        );
+        assert_eq!(p.inst_addr(InstIndex(0)), 0x4000);
+        assert_eq!(p.inst_addr(InstIndex(1)), 0x4004);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let p = Program::from_instructions(vec![Instruction::new(Kind::Nop)], 0);
+        assert!(p.get(InstIndex(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn invalid_target_panics() {
+        let _ = Program::from_instructions(
+            vec![Instruction::new(Kind::Jump {
+                target: InstIndex(9),
+            })],
+            0,
+        );
+    }
+
+    #[test]
+    fn listing_includes_labels() {
+        let p = Program::from_instructions(
+            vec![
+                Instruction::new(Kind::Nop),
+                Instruction::new(Kind::Jump {
+                    target: InstIndex(0),
+                }),
+            ],
+            0,
+        );
+        let listing = p.listing();
+        assert!(listing.contains("L0:"));
+        assert!(listing.contains("br L0"));
+    }
+}

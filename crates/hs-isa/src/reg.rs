@@ -1,0 +1,136 @@
+//! Architectural register names.
+//!
+//! The ISA exposes 32 integer registers and 32 floating-point registers, like
+//! the Alpha ISA used by the paper's SimpleScalar baseline. Integer register 0
+//! is hard-wired to zero (reads return 0, writes are ignored), which keeps
+//! generated code simple.
+
+use std::fmt;
+
+/// Number of architectural integer registers.
+pub const NUM_INT_REGS: usize = 32;
+
+/// Number of architectural floating-point registers.
+pub const NUM_FP_REGS: usize = 32;
+
+/// An architectural integer register (`$0`–`$31`). `$0` reads as zero.
+///
+/// ```
+/// use hs_isa::IntReg;
+/// let r = IntReg::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "$3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+impl IntReg {
+    /// The hard-wired zero register.
+    pub const ZERO: IntReg = IntReg(0);
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_INT_REGS`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_INT_REGS,
+            "integer register index {index} out of range"
+        );
+        IntReg(index)
+    }
+
+    /// The register's index in `0..NUM_INT_REGS`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+/// An architectural floating-point register (`$f0`–`$f31`).
+///
+/// ```
+/// use hs_isa::FpReg;
+/// assert_eq!(FpReg::new(7).to_string(), "$f7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// Creates a floating-point register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_FP_REGS`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_FP_REGS,
+            "fp register index {index} out of range"
+        );
+        FpReg(index)
+    }
+
+    /// The register's index in `0..NUM_FP_REGS`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reg_roundtrip() {
+        for i in 0..NUM_INT_REGS as u8 {
+            let r = IntReg::new(i);
+            assert_eq!(r.index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn zero_register_is_zero() {
+        assert!(IntReg::ZERO.is_zero());
+        assert!(!IntReg::new(1).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_reg_out_of_range_panics() {
+        let _ = IntReg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_reg_out_of_range_panics() {
+        let _ = FpReg::new(255);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(IntReg::new(31).to_string(), "$31");
+        assert_eq!(FpReg::new(0).to_string(), "$f0");
+    }
+}

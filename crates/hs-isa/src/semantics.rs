@@ -1,0 +1,101 @@
+//! Pure evaluation functions shared by the architectural interpreter
+//! ([`crate::machine`]) and the cycle-level pipeline in `hs-cpu`.
+//!
+//! Keeping semantics in one place guarantees the functional and timing models
+//! can never compute different values for the same instruction.
+
+use crate::inst::{AluOp, BranchCond, FpOp};
+
+/// Evaluates an integer ALU operation.
+///
+/// All arithmetic wraps; shifts use the low 6 bits of `rhs`; comparisons are
+/// unsigned and produce 0 or 1.
+///
+/// ```
+/// use hs_isa::{semantics::eval_alu, AluOp};
+/// assert_eq!(eval_alu(AluOp::Add, u64::MAX, 1), 0);
+/// assert_eq!(eval_alu(AluOp::CmpLt, 3, 5), 1);
+/// ```
+#[must_use]
+pub fn eval_alu(op: AluOp, lhs: u64, rhs: u64) -> u64 {
+    match op {
+        AluOp::Add => lhs.wrapping_add(rhs),
+        AluOp::Sub => lhs.wrapping_sub(rhs),
+        AluOp::And => lhs & rhs,
+        AluOp::Or => lhs | rhs,
+        AluOp::Xor => lhs ^ rhs,
+        AluOp::Shl => lhs.wrapping_shl((rhs & 63) as u32),
+        AluOp::Shr => lhs.wrapping_shr((rhs & 63) as u32),
+        AluOp::Mul => lhs.wrapping_mul(rhs),
+        AluOp::CmpLt => u64::from(lhs < rhs),
+        AluOp::CmpEq => u64::from(lhs == rhs),
+    }
+}
+
+/// Evaluates a floating-point operation.
+#[must_use]
+pub fn eval_fp(op: FpOp, lhs: f64, rhs: f64) -> f64 {
+    match op {
+        FpOp::Add => lhs + rhs,
+        FpOp::Sub => lhs - rhs,
+        FpOp::Mul => lhs * rhs,
+        FpOp::Div => lhs / rhs,
+    }
+}
+
+/// Evaluates a branch condition (unsigned comparison).
+///
+/// ```
+/// use hs_isa::{semantics::eval_branch, BranchCond};
+/// assert!(eval_branch(BranchCond::Ne, 1, 0));
+/// assert!(!eval_branch(BranchCond::Lt, 5, 5));
+/// ```
+#[must_use]
+pub fn eval_branch(cond: BranchCond, lhs: u64, rhs: u64) -> bool {
+    match cond {
+        BranchCond::Eq => lhs == rhs,
+        BranchCond::Ne => lhs != rhs,
+        BranchCond::Lt => lhs < rhs,
+        BranchCond::Ge => lhs >= rhs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_basics() {
+        assert_eq!(eval_alu(AluOp::Add, 2, 3), 5);
+        assert_eq!(eval_alu(AluOp::Sub, 2, 3), u64::MAX);
+        assert_eq!(eval_alu(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(eval_alu(AluOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(eval_alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(eval_alu(AluOp::Mul, 7, 6), 42);
+        assert_eq!(eval_alu(AluOp::CmpEq, 4, 4), 1);
+        assert_eq!(eval_alu(AluOp::CmpEq, 4, 5), 0);
+    }
+
+    #[test]
+    fn shift_masks_amount() {
+        assert_eq!(eval_alu(AluOp::Shl, 1, 64), 1);
+        assert_eq!(eval_alu(AluOp::Shl, 1, 65), 2);
+        assert_eq!(eval_alu(AluOp::Shr, 8, 3), 1);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(eval_branch(BranchCond::Eq, 9, 9));
+        assert!(eval_branch(BranchCond::Ge, 9, 9));
+        assert!(eval_branch(BranchCond::Lt, 8, 9));
+        assert!(!eval_branch(BranchCond::Ne, 9, 9));
+    }
+
+    #[test]
+    fn fp_ops() {
+        assert_eq!(eval_fp(FpOp::Add, 1.5, 2.5), 4.0);
+        assert_eq!(eval_fp(FpOp::Mul, 3.0, 4.0), 12.0);
+        assert_eq!(eval_fp(FpOp::Div, 1.0, 2.0), 0.5);
+        assert_eq!(eval_fp(FpOp::Sub, 1.0, 2.0), -1.0);
+    }
+}

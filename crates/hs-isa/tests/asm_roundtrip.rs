@@ -1,0 +1,46 @@
+//! Property test: any program built with the ProgramBuilder can be listed
+//! and re-assembled into an identical program.
+
+use hs_isa::{assemble, AluOp, BranchCond, FpOp, FpReg, IntReg, Operand, Program, ProgramBuilder};
+use proptest::prelude::*;
+
+fn arbitrary_program(ops: Vec<u16>) -> Program {
+    let mut b = ProgramBuilder::new();
+    let top = b.label();
+    for (i, &op) in ops.iter().enumerate() {
+        let rd = IntReg::new((op % 32) as u8);
+        let rs = IntReg::new(((op >> 5) % 32) as u8);
+        let imm = u64::from(op);
+        match op % 11 {
+            0 => { b.int_alu(AluOp::Add, rd, rs, Operand::Imm(imm)); }
+            1 => { b.int_alu(AluOp::Xor, rd, rs, Operand::Reg(rd)); }
+            2 => { b.int_alu(AluOp::Mul, rd, rs, Operand::Imm(imm)); }
+            3 => { b.load(rd, rs, i64::from(op)); }
+            4 => { b.store(rd, rs, -i64::from(op)); }
+            5 => { b.fp_alu(FpOp::Add, FpReg::new((op % 32) as u8), FpReg::new(1), FpReg::new(2)); }
+            6 => { b.branch(BranchCond::Ne, rd, Operand::Imm(imm), top); }
+            7 => { b.nop(); }
+            8 => { b.int_alu(AluOp::Shr, rd, rs, Operand::Imm(imm % 64)); }
+            9 => { b.fp_alu(FpOp::Div, FpReg::new(3), FpReg::new(4), FpReg::new(5)); }
+            _ => { b.branch(BranchCond::Lt, rd, Operand::Reg(rs), top); }
+        }
+        let _ = i;
+    }
+    b.halt();
+    b.build().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn listing_reassembles_identically(ops in prop::collection::vec(any::<u16>(), 1..80)) {
+        let p1 = arbitrary_program(ops);
+        let p2 = assemble(&p1.listing()).expect("listing must reassemble");
+        // Same instructions (code base is the assembler's default).
+        prop_assert_eq!(p1.len(), p2.len());
+        for (a, b) in p1.iter().zip(p2.iter()) {
+            prop_assert_eq!(a.1, b.1, "instruction {} differs", a.0);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! A set-associative cache with true-LRU replacement.
+
+use crate::geometry::CacheGeometry;
+use crate::stats::CacheStats;
+
+/// One way of one set.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// Monotonic timestamp of the last touch; smallest = LRU victim.
+    last_use: u64,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block was present.
+    Hit,
+    /// The block was absent; it has been filled. If the victim was a valid
+    /// dirty line, its block address is reported for writeback accounting.
+    Miss {
+        /// Block address of an evicted dirty line, if any.
+        writeback: Option<u64>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    #[must_use]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// A set-associative, write-back, write-allocate cache with true LRU.
+///
+/// The cache tracks presence only (no data): the functional value of memory
+/// lives in `hs-isa`'s `FlatMemory`, while this structure decides hit/miss
+/// and eviction — the classic split of a timing-first simulator.
+///
+/// ```
+/// use hs_mem::{SetAssocCache, CacheGeometry};
+/// let mut c = SetAssocCache::new(CacheGeometry::new(1024, 64, 2).unwrap());
+/// assert!(!c.access(0x0, false).is_hit());
+/// assert!(c.access(0x0, false).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty (all-invalid) cache.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = (0..geometry.sets())
+            .map(|_| vec![Line::default(); geometry.assoc() as usize])
+            .collect();
+        SetAssocCache {
+            geometry,
+            sets,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Accumulated hit/miss statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Accesses `addr`. On a miss the block is filled (write-allocate) and
+    /// the LRU way of the set is evicted. `is_write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let set_idx = self.geometry.set_index(addr) as usize;
+        let tag = self.geometry.tag(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = self.clock;
+            line.dirty |= is_write;
+            self.stats.record_hit(is_write);
+            return AccessOutcome::Hit;
+        }
+
+        // Miss: pick victim = invalid way if any, else LRU.
+        let victim_idx = set
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_use)
+                    .map(|(i, _)| i)
+                    .expect("set has at least one way")
+            });
+        let victim = set[victim_idx];
+        let writeback = if victim.valid && victim.dirty {
+            let sets = self.geometry.sets();
+            let line_bytes = self.geometry.line_bytes();
+            Some((victim.tag * sets + set_idx as u64) * line_bytes)
+        } else {
+            None
+        };
+        set[victim_idx] = Line {
+            valid: true,
+            dirty: is_write,
+            tag,
+            last_use: self.clock,
+        };
+        self.stats.record_miss(is_write);
+        AccessOutcome::Miss { writeback }
+    }
+
+    /// Checks for presence without updating LRU state or statistics.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = &self.sets[self.geometry.set_index(addr) as usize];
+        let tag = self.geometry.tag(addr);
+        set.iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the block containing `addr` if present; returns whether a
+    /// block was invalidated.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let tag = self.geometry.tag(addr);
+        let set = &mut self.sets[self.geometry.set_index(addr) as usize];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.valid = false;
+            line.dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates the entire cache (e.g. between simulation runs).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                *line = Line::default();
+            }
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets x 2 ways x 64B lines = 256B.
+        SetAssocCache::new(CacheGeometry::new(256, 64, 2).unwrap())
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, false).is_hit());
+        assert!(c.access(0, false).is_hit());
+        assert!(c.access(63, false).is_hit()); // same line
+        assert!(!c.access(64, false).is_hit()); // next line, other set
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        let stride = c.geometry().way_stride();
+        // Fill both ways of set 0.
+        c.access(0, false);
+        c.access(stride, false);
+        // Touch block 0 so `stride` becomes LRU.
+        c.access(0, false);
+        // A third alias evicts `stride`, not 0.
+        c.access(2 * stride, false);
+        assert!(c.probe(0));
+        assert!(!c.probe(stride));
+        assert!(c.probe(2 * stride));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        let stride = c.geometry().way_stride();
+        c.access(0, true); // dirty
+        c.access(stride, false);
+        match c.access(2 * stride, false) {
+            AccessOutcome::Miss { writeback } => assert_eq!(writeback, Some(0)),
+            AccessOutcome::Hit => panic!("expected a miss"),
+        }
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        let stride = c.geometry().way_stride();
+        c.access(0, false);
+        c.access(stride, false);
+        match c.access(2 * stride, false) {
+            AccessOutcome::Miss { writeback } => assert_eq!(writeback, None),
+            AccessOutcome::Hit => panic!("expected a miss"),
+        }
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = tiny();
+        let stride = c.geometry().way_stride();
+        c.access(0, false);
+        c.access(stride, false);
+        // Probing block 0 must NOT refresh it.
+        assert!(c.probe(0));
+        c.access(2 * stride, false); // evicts block 0 (true LRU)
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = tiny();
+        c.access(0, false);
+        assert!(c.invalidate(0));
+        assert!(!c.probe(0));
+        assert!(!c.invalidate(0));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(64, false);
+        assert_eq!(c.resident_lines(), 2);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, true);
+        c.access(64, false);
+        let s = c.stats();
+        assert_eq!(s.read_misses + s.write_misses, 2);
+        assert_eq!(s.read_hits + s.write_hits, 1);
+        assert_eq!(s.accesses(), 3);
+    }
+
+    #[test]
+    fn assoc_plus_one_aliases_always_miss() {
+        // The variant2 pattern: assoc+1 blocks in one set, accessed
+        // round-robin, must miss every time under true LRU.
+        let mut c = SetAssocCache::new(CacheGeometry::new(8 << 10, 64, 8).unwrap());
+        let stride = c.geometry().way_stride();
+        let addrs: Vec<u64> = (0..9).map(|i| 0x100 + i * stride).collect();
+        // Warm up.
+        for &a in &addrs {
+            c.access(a, false);
+        }
+        // Every subsequent round-robin access must miss.
+        for round in 0..4 {
+            for &a in &addrs {
+                assert!(
+                    !c.access(a, false).is_hit(),
+                    "round {round}: {a:#x} unexpectedly hit"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Cache geometry: size, line size, associativity, and address slicing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a cache geometry is not realizable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGeometryError(String);
+
+impl fmt::Display for ParseGeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cache geometry: {}", self.0)
+    }
+}
+
+impl Error for ParseGeometryError {}
+
+/// Geometry of a set-associative cache.
+///
+/// All three parameters must be powers of two and `size_bytes` must be
+/// divisible by `line_bytes * assoc`.
+///
+/// ```
+/// use hs_mem::CacheGeometry;
+/// // The paper's shared L2: 2 MB, 8-way (64-byte lines).
+/// let l2 = CacheGeometry::new(2 << 20, 64, 8).unwrap();
+/// assert_eq!(l2.sets(), 4096);
+/// // Addresses one way-stride apart map to the same set:
+/// assert_eq!(l2.set_index(0x1234 & !63), l2.set_index((0x1234 & !63) + l2.way_stride()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    line_bytes: u64,
+    assoc: u32,
+    sets: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any parameter is zero or not a power of two, or if
+    /// the size is smaller than one set's worth of lines.
+    pub fn new(size_bytes: u64, line_bytes: u64, assoc: u32) -> Result<Self, ParseGeometryError> {
+        if size_bytes == 0 || !size_bytes.is_power_of_two() {
+            return Err(ParseGeometryError(format!(
+                "size {size_bytes} must be a nonzero power of two"
+            )));
+        }
+        if line_bytes == 0 || !line_bytes.is_power_of_two() {
+            return Err(ParseGeometryError(format!(
+                "line size {line_bytes} must be a nonzero power of two"
+            )));
+        }
+        if assoc == 0 || !assoc.is_power_of_two() {
+            return Err(ParseGeometryError(format!(
+                "associativity {assoc} must be a nonzero power of two"
+            )));
+        }
+        let way_bytes = line_bytes * u64::from(assoc);
+        if size_bytes < way_bytes {
+            return Err(ParseGeometryError(format!(
+                "size {size_bytes} smaller than one set ({way_bytes} bytes)"
+            )));
+        }
+        let sets = size_bytes / way_bytes;
+        Ok(CacheGeometry {
+            size_bytes,
+            line_bytes,
+            assoc,
+            sets,
+        })
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Line (block) size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Associativity (ways per set).
+    #[must_use]
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// The line-aligned address of the block containing `addr`.
+    #[must_use]
+    pub fn block_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// The set index for `addr`.
+    #[must_use]
+    pub fn set_index(&self, addr: u64) -> u64 {
+        (addr / self.line_bytes) & (self.sets - 1)
+    }
+
+    /// The tag for `addr`.
+    #[must_use]
+    pub fn tag(&self, addr: u64) -> u64 {
+        addr / self.line_bytes / self.sets
+    }
+
+    /// The smallest address stride that maps successive addresses to the
+    /// *same set* (i.e. one "way" of the cache). The paper's variant2 uses
+    /// `assoc + 1` addresses spaced by this stride to guarantee conflict
+    /// misses in the shared L2.
+    #[must_use]
+    pub fn way_stride(&self) -> u64 {
+        self.line_bytes * self.sets
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB {}-way, {}B lines, {} sets",
+            self.size_bytes / 1024,
+            self.assoc,
+            self.line_bytes,
+            self.sets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_geometry() {
+        // 64KB 4-way with 64B lines -> 256 sets.
+        let g = CacheGeometry::new(64 << 10, 64, 4).unwrap();
+        assert_eq!(g.sets(), 256);
+        assert_eq!(g.way_stride(), 64 * 256);
+    }
+
+    #[test]
+    fn slicing_is_consistent() {
+        let g = CacheGeometry::new(1 << 14, 32, 2).unwrap();
+        for addr in [0u64, 31, 32, 4096, 0xdead_beef] {
+            let block = g.block_addr(addr);
+            assert_eq!(g.set_index(addr), g.set_index(block));
+            assert_eq!(g.tag(addr), g.tag(block));
+            // Reconstruct the block address from tag and set.
+            let rebuilt = (g.tag(addr) * g.sets() + g.set_index(addr)) * g.line_bytes();
+            assert_eq!(rebuilt, block);
+        }
+    }
+
+    #[test]
+    fn way_stride_aliases_to_same_set() {
+        let g = CacheGeometry::new(2 << 20, 64, 8).unwrap();
+        let base = 0x10_0000;
+        for i in 0..16 {
+            assert_eq!(g.set_index(base), g.set_index(base + i * g.way_stride()));
+        }
+        // But tags differ, so they are distinct blocks.
+        assert_ne!(g.tag(base), g.tag(base + g.way_stride()));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(CacheGeometry::new(0, 64, 4).is_err());
+        assert!(CacheGeometry::new(1000, 64, 4).is_err()); // not a power of two
+        assert!(CacheGeometry::new(1 << 20, 0, 4).is_err());
+        assert!(CacheGeometry::new(1 << 20, 64, 3).is_err());
+        assert!(CacheGeometry::new(128, 64, 4).is_err()); // smaller than one set
+    }
+
+    #[test]
+    fn display_mentions_capacity() {
+        let g = CacheGeometry::new(64 << 10, 64, 4).unwrap();
+        assert!(g.to_string().contains("64KB"));
+    }
+}

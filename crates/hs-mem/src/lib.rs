@@ -1,0 +1,44 @@
+//! # hs-mem — memory hierarchy for the Heat Stroke reproduction
+//!
+//! Models the paper's Table-1 hierarchy:
+//!
+//! * 64 KB, 4-way, 2-cycle L1 instruction and data caches,
+//! * a 2 MB, 8-way, 12-cycle unified L2 shared by all SMT contexts,
+//! * 300-cycle off-chip memory.
+//!
+//! Caches are set-associative with true-LRU replacement and are shared by
+//! all SMT threads (the sharing is what lets one thread's conflict misses
+//! and hot-spot behaviour affect another). The model is latency-based, in
+//! the SimpleScalar `sim-outorder` tradition: an access returns the total
+//! latency to criticality rather than simulating MSHRs and buses
+//! structurally.
+//!
+//! The L2-set-conflict behaviour that the paper's *variant2* malicious
+//! thread relies on (nine loads mapping to the same set of an 8-way cache,
+//! Figure 2) falls out of the geometry: [`CacheGeometry::way_stride`] gives
+//! the address stride that keeps the set index constant.
+//!
+//! ```
+//! use hs_mem::{MemoryHierarchy, MemConfig, AccessKind};
+//!
+//! let mut mem = MemoryHierarchy::new(MemConfig::default());
+//! let first = mem.access(AccessKind::DataRead, 0x8000);
+//! assert!(first.is_l2_miss());                     // cold miss goes to memory
+//! let second = mem.access(AccessKind::DataRead, 0x8000);
+//! assert!(second.l1_hit);                          // now resident
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod geometry;
+pub mod hierarchy;
+pub mod stats;
+
+pub use cache::{AccessOutcome, SetAssocCache};
+pub use config::MemConfig;
+pub use geometry::CacheGeometry;
+pub use hierarchy::{AccessKind, AccessResult, MemoryHierarchy};
+pub use stats::{CacheStats, LevelStats};

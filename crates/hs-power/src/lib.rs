@@ -1,0 +1,48 @@
+//! # hs-power — a Wattch-style activity-based power model
+//!
+//! The paper integrates Wattch into its SMT simulator: every access to a
+//! microarchitectural structure costs a fixed switching energy, and the
+//! per-block sum of those energies over a sampling interval, divided by the
+//! interval, is the block's dynamic power. This crate implements that model
+//! on top of `hs-cpu`'s [`hs_cpu::AccessMatrix`] and produces the
+//! [`PowerVector`](hs_thermal::PowerVector) consumed by `hs-thermal`.
+//!
+//! ## Calibration
+//!
+//! Wattch derives per-access energies from circuit capacitance tables for a
+//! given technology. We do not have those tables, so per-access energies
+//! are *calibrated* so that the resulting steady-state temperatures land on
+//! the paper's anchors (see `DESIGN.md`):
+//!
+//! * idle chip ≈ 30 W → heat-spreader ≈ 347 K with the 0.8 K/W package,
+//! * a typical thread's integer-register-file activity (≈3 accesses/cycle)
+//!   puts the register file at ≈354 K ("normal operating temperature"),
+//! * a register-file hammering attack (≈14 accesses/cycle chip-wide)
+//!   drives the register-file steady state far above the 358.5 K emergency,
+//!   so the emergency is crossed within a few million cycles at 4 GHz.
+//!
+//! The [`calibration`] module verifies those anchors against the thermal
+//! network directly, independent of the pipeline.
+//!
+//! ```
+//! use hs_power::{EnergyTable, PowerModel};
+//! use hs_cpu::{AccessMatrix, Resource, ThreadId};
+//! use hs_thermal::Block;
+//!
+//! let model = PowerModel::new(EnergyTable::default());
+//! let mut counts = AccessMatrix::new();
+//! // 3 register-file accesses/cycle for 20k cycles.
+//! counts.add(ThreadId(0), Resource::IntRegFile, 60_000);
+//! let p = model.power(&counts, 20_000, 4.0e9);
+//! assert!(p.get(Block::IntReg) > model.idle_power().get(Block::IntReg));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod energy;
+pub mod model;
+
+pub use energy::{resource_block, EnergyTable};
+pub use model::PowerModel;

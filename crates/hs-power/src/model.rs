@@ -1,0 +1,147 @@
+//! Turning access counts into block powers.
+
+use crate::energy::{resource_block, EnergyTable};
+use hs_cpu::{AccessMatrix, ALL_RESOURCES, MAX_THREADS};
+use hs_cpu::ThreadId;
+use hs_thermal::PowerVector;
+
+/// The activity-based power model.
+///
+/// `power(counts, interval, f)` computes, for every floorplan block,
+///
+/// ```text
+/// P_block = idle_block + Σ_{r → block} E_r · N_r / (interval / f)
+/// ```
+///
+/// where `N_r` is the access count over the interval. During a global stall
+/// (stop-and-go) the pipeline produces no events, so blocks fall back to
+/// their idle power — which is exactly the cooling behaviour the paper's
+/// DTM schemes rely on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    table: EnergyTable,
+}
+
+impl PowerModel {
+    /// Creates a model from an energy table.
+    #[must_use]
+    pub fn new(table: EnergyTable) -> Self {
+        PowerModel { table }
+    }
+
+    /// The underlying energy table.
+    #[must_use]
+    pub fn table(&self) -> &EnergyTable {
+        &self.table
+    }
+
+    /// Power vector for an interval of `interval_cycles` at `freq_hz`,
+    /// including idle power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_cycles` is zero or `freq_hz` is not positive.
+    #[must_use]
+    pub fn power(&self, counts: &AccessMatrix, interval_cycles: u64, freq_hz: f64) -> PowerVector {
+        assert!(interval_cycles > 0, "interval must be nonzero");
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        let seconds = interval_cycles as f64 / freq_hz;
+        let mut p = self.idle_power();
+        for r in ALL_RESOURCES {
+            let total: u64 = (0..MAX_THREADS)
+                .map(|t| counts.get(ThreadId(t as u8), r))
+                .sum();
+            if total == 0 {
+                continue;
+            }
+            let energy = self.table.energy(r) * total as f64;
+            p.add(resource_block(r), energy / seconds);
+        }
+        p
+    }
+
+    /// The power vector of a fully stalled (clock-gated) chip.
+    #[must_use]
+    pub fn idle_power(&self) -> PowerVector {
+        PowerVector::from_fn(|b| self.table.idle(b))
+    }
+
+    /// Dynamic power a single resource would dissipate at `rate` accesses
+    /// per cycle at `freq_hz` — convenient for calibration math.
+    #[must_use]
+    pub fn dynamic_power_at_rate(&self, resource: hs_cpu::Resource, rate: f64, freq_hz: f64) -> f64 {
+        self.table.energy(resource) * rate * freq_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_cpu::Resource;
+    use hs_thermal::Block;
+
+    const FREQ: f64 = 4.0e9;
+
+    #[test]
+    fn zero_activity_gives_idle_power() {
+        let m = PowerModel::new(EnergyTable::default());
+        let p = m.power(&AccessMatrix::new(), 1000, FREQ);
+        assert_eq!(p, m.idle_power());
+    }
+
+    #[test]
+    fn power_scales_linearly_with_rate() {
+        let m = PowerModel::new(EnergyTable::default());
+        let mut a = AccessMatrix::new();
+        a.add(ThreadId(0), Resource::IntRegFile, 10_000);
+        let mut b = AccessMatrix::new();
+        b.add(ThreadId(0), Resource::IntRegFile, 20_000);
+        let idle = m.idle_power().get(Block::IntReg);
+        let pa = m.power(&a, 10_000, FREQ).get(Block::IntReg) - idle;
+        let pb = m.power(&b, 10_000, FREQ).get(Block::IntReg) - idle;
+        assert!((pb / pa - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threads_sum_into_the_same_block() {
+        let m = PowerModel::new(EnergyTable::default());
+        let mut both = AccessMatrix::new();
+        both.add(ThreadId(0), Resource::IntRegFile, 5_000);
+        both.add(ThreadId(1), Resource::IntRegFile, 5_000);
+        let mut one = AccessMatrix::new();
+        one.add(ThreadId(0), Resource::IntRegFile, 10_000);
+        let p_both = m.power(&both, 1_000, FREQ);
+        let p_one = m.power(&one, 1_000, FREQ);
+        assert!((p_both.get(Block::IntReg) - p_one.get(Block::IntReg)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alu_and_mul_share_the_exec_block() {
+        let m = PowerModel::new(EnergyTable::default());
+        let mut counts = AccessMatrix::new();
+        counts.add(ThreadId(0), Resource::IntAlu, 1_000);
+        counts.add(ThreadId(0), Resource::IntMul, 1_000);
+        let p = m.power(&counts, 1_000, FREQ);
+        let expected = m.idle_power().get(Block::IntExec)
+            + (m.table().energy(Resource::IntAlu) + m.table().energy(Resource::IntMul)) * FREQ;
+        assert!((p.get(Block::IntExec) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_power_at_rate_matches_power() {
+        let m = PowerModel::new(EnergyTable::default());
+        let mut counts = AccessMatrix::new();
+        counts.add(ThreadId(0), Resource::L1D, 3_000); // 3/cycle over 1000 cycles
+        let p = m.power(&counts, 1_000, FREQ);
+        let direct = m.dynamic_power_at_rate(Resource::L1D, 3.0, FREQ);
+        let idle = m.idle_power().get(Block::Dcache);
+        assert!((p.get(Block::Dcache) - idle - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_interval_panics() {
+        let m = PowerModel::new(EnergyTable::default());
+        let _ = m.power(&AccessMatrix::new(), 0, FREQ);
+    }
+}

@@ -1,0 +1,214 @@
+//! Whole-simulation configuration.
+
+use hs_core::{RateCapConfig, SedationConfig};
+use hs_cpu::CpuConfig;
+use hs_mem::MemConfig;
+use hs_power::EnergyTable;
+use hs_thermal::{SensorConfig, ThermalConfig};
+
+/// Which DTM mechanism supervises the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// No DTM at all (only meaningful with [`HeatSink::Ideal`]).
+    None,
+    /// The stop-and-go baseline (global clock gating).
+    StopAndGo,
+    /// A DVS-like baseline: half-speed global throttling while hot.
+    GlobalDvfs,
+    /// The strawman the paper rejects: absolute access-rate policing with
+    /// no temperature input (kept for the failure-mode experiments).
+    RateCap,
+    /// The paper's contribution.
+    SelectiveSedation,
+}
+
+impl PolicyKind {
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::None => "none",
+            PolicyKind::StopAndGo => "stop-and-go",
+            PolicyKind::GlobalDvfs => "global-dvfs",
+            PolicyKind::RateCap => "rate-cap",
+            PolicyKind::SelectiveSedation => "sedation",
+        }
+    }
+}
+
+/// The package model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeatSink {
+    /// An ideal sink with infinite heat-removal rate: temperatures never
+    /// rise, so DTM never engages. Used to isolate ICOUNT/fetch effects
+    /// from power-density effects (Figure 5's first configuration).
+    Ideal,
+    /// The realistic air-cooled package of Table 1 (0.8 K/W convection).
+    Realistic,
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Pipeline parameters.
+    pub cpu: CpuConfig,
+    /// Memory-hierarchy parameters.
+    pub mem: MemConfig,
+    /// Per-access energies and idle powers.
+    pub energy: EnergyTable,
+    /// Thermal network parameters (time-scaled).
+    pub thermal: ThermalConfig,
+    /// Selective-sedation parameters (thresholds are shared with
+    /// stop-and-go; time-scaled).
+    pub sedation: SedationConfig,
+    /// Clock frequency in hertz (Table 1: 4 GHz).
+    pub freq_hz: f64,
+    /// Measured quantum length in cycles (paper: 500 M = one OS quantum).
+    pub quantum_cycles: u64,
+    /// Un-measured cache warm-up cycles run before the quantum (the paper's
+    /// SPEC checkpoints start warm; our synthetic programs must fill the
+    /// caches first).
+    pub warmup_cycles: u64,
+    /// Temperature-sensor period in cycles (paper: 20 000).
+    pub sensor_interval_cycles: u64,
+    /// Sensor error model (ideal by default; see
+    /// [`SensorConfig::realistic`]).
+    pub sensors: SensorConfig,
+    /// Parameters for the rate-cap strawman policy (only used with
+    /// [`PolicyKind::RateCap`]; time-scaled).
+    pub rate_cap: RateCapConfig,
+    /// The time-scale factor this configuration was derived with.
+    pub time_scale: f64,
+}
+
+impl SimConfig {
+    /// The paper's full-fidelity configuration: 4 GHz, 500 M-cycle quantum,
+    /// 20 k-cycle sensors, physical thermal constants.
+    #[must_use]
+    pub fn paper() -> Self {
+        SimConfig {
+            cpu: CpuConfig::default(),
+            mem: MemConfig::default(),
+            energy: EnergyTable::default(),
+            thermal: ThermalConfig::default(),
+            sedation: SedationConfig::default(),
+            freq_hz: 4.0e9,
+            quantum_cycles: 500_000_000,
+            warmup_cycles: 4_000_000,
+            sensor_interval_cycles: 20_000,
+            sensors: SensorConfig::default(),
+            rate_cap: RateCapConfig::default(),
+            time_scale: 1.0,
+        }
+    }
+
+    /// A time-scaled configuration: every thermal time constant, monitoring
+    /// period and the quantum divided by `factor`. Dimensionless ratios —
+    /// heat-up : cool-down : quantum — are preserved, so the paper's
+    /// dynamics replay inside a `factor`× shorter simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1`.
+    #[must_use]
+    pub fn scaled(factor: f64) -> Self {
+        assert!(factor >= 1.0, "scale factor must be ≥ 1");
+        let paper = Self::paper();
+        SimConfig {
+            thermal: paper.thermal.with_time_scale(factor),
+            sedation: paper.sedation.with_time_scale(factor),
+            rate_cap: paper.rate_cap.with_time_scale(factor),
+            quantum_cycles: ((paper.quantum_cycles as f64 / factor) as u64).max(1),
+            sensor_interval_cycles: ((paper.sensor_interval_cycles as f64 / factor) as u64)
+                .max(100),
+            // Cache warm-up is architectural, not thermal: do not scale it
+            // away entirely or large-working-set programs start cold.
+            warmup_cycles: 3_000_000,
+            time_scale: factor,
+            ..paper
+        }
+    }
+
+    /// The standard experiment configuration used by the benchmark
+    /// harness: 25× time scale (20 M-cycle quantum).
+    #[must_use]
+    pub fn experiment() -> Self {
+        Self::scaled(25.0)
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sub-configuration is invalid, if the sensor interval
+    /// is not a multiple of the monitor sampling period, or if the quantum
+    /// is shorter than one sensor interval.
+    pub fn validate(&self) {
+        self.cpu.validate();
+        self.sedation.validate();
+        self.sensors.validate();
+        assert!(self.freq_hz > 0.0, "frequency must be positive");
+        assert!(
+            self.sensor_interval_cycles % self.sedation.sample_period_cycles == 0,
+            "sensor interval ({}) must be a multiple of the monitor period ({})",
+            self.sensor_interval_cycles,
+            self.sedation.sample_period_cycles
+        );
+        assert!(
+            self.quantum_cycles >= self.sensor_interval_cycles,
+            "quantum shorter than one sensor interval"
+        );
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::experiment()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid_and_matches_table1() {
+        let c = SimConfig::paper();
+        c.validate();
+        assert_eq!(c.quantum_cycles, 500_000_000);
+        assert_eq!(c.sensor_interval_cycles, 20_000);
+        assert_eq!(c.freq_hz, 4.0e9);
+        assert_eq!(c.thermal.convection_resistance, 0.8);
+        assert_eq!(c.cpu.contexts, 2);
+    }
+
+    #[test]
+    fn scaled_config_preserves_ratios() {
+        let c = SimConfig::scaled(25.0);
+        c.validate();
+        assert_eq!(c.quantum_cycles, 20_000_000);
+        assert_eq!(c.sensor_interval_cycles, 800);
+        assert_eq!(c.sedation.sample_period_cycles, 50); // clamped minimum
+        // Quantum / cooling-time ratio preserved.
+        let paper = SimConfig::paper();
+        let r_paper = paper.quantum_cycles as f64 / paper.sedation.cooling_time_cycles as f64;
+        let r_scaled = c.quantum_cycles as f64 / c.sedation.cooling_time_cycles as f64;
+        assert!((r_paper - r_scaled).abs() / r_paper < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the monitor period")]
+    fn mismatched_periods_rejected() {
+        let mut c = SimConfig::paper();
+        c.sensor_interval_cycles = 1500;
+        c.sedation.sample_period_cycles = 1000;
+        c.validate();
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(PolicyKind::StopAndGo.name(), "stop-and-go");
+        assert_eq!(PolicyKind::SelectiveSedation.name(), "sedation");
+        assert_eq!(PolicyKind::None.name(), "none");
+    }
+}

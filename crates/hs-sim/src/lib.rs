@@ -1,0 +1,58 @@
+//! # hs-sim — the full heat-stroke simulation stack
+//!
+//! Binds the SMT pipeline (`hs-cpu`), the Wattch-style power model
+//! (`hs-power`), the HotSpot-style thermal network (`hs-thermal`), and the
+//! DTM policies (`hs-core`) into the execution-driven simulator the paper
+//! describes in §4:
+//!
+//! * the pipeline runs cycle by cycle, producing per-thread per-resource
+//!   access events;
+//! * access-rate monitors sample every 1000 cycles (the paper's choice);
+//! * temperature sensors are read every 20 000 cycles ("well under the
+//!   thermal RC time-constant of any resource") and the thermal network is
+//!   integrated between readings;
+//! * the active DTM policy sees both and controls a global stall signal
+//!   (stop-and-go) and per-thread fetch gates (selective sedation);
+//! * one simulation covers one OS quantum (500 M cycles at 4 GHz in the
+//!   paper).
+//!
+//! ## Time scaling
+//!
+//! Full-fidelity runs (`SimConfig::paper()`) use the paper's constants.
+//! Because every result depends only on the *ratios* between heat-up time,
+//! cool-down time and quantum length, the experiment harness uses
+//! [`SimConfig::scaled`] — all thermal capacitances, monitoring periods and
+//! the quantum divided by the same factor — to reproduce the dynamics of a
+//! 500 M-cycle quantum inside a much shorter simulation. `DESIGN.md`
+//! documents the substitution.
+//!
+//! ```
+//! use hs_sim::{RunSpec, SimConfig, PolicyKind, HeatSink};
+//! use hs_workloads::{Workload, SpecWorkload};
+//!
+//! // A fast, heavily time-scaled smoke run.
+//! let cfg = SimConfig::scaled(400.0);
+//! let stats = RunSpec {
+//!     workloads: vec![Workload::Spec(SpecWorkload::Gcc)],
+//!     policy: PolicyKind::StopAndGo,
+//!     sink: HeatSink::Realistic,
+//!     config: cfg,
+//! }
+//! .run();
+//! assert!(stats.thread(0).ipc > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod os;
+pub mod runner;
+pub mod simulator;
+pub mod stats;
+
+pub use config::{HeatSink, PolicyKind, SimConfig};
+pub use os::{OsScheduler, ScheduleOutcome, SchedulerConfig};
+pub use runner::RunSpec;
+pub use simulator::Simulator;
+pub use stats::{SimStats, ThreadBreakdown, ThreadSummary};

@@ -1,0 +1,165 @@
+//! Convenience experiment runners used by the harness, examples and tests.
+
+use crate::config::{HeatSink, PolicyKind, SimConfig};
+use crate::simulator::Simulator;
+use crate::stats::SimStats;
+use hs_workloads::Workload;
+
+/// One experiment: a set of co-scheduled workloads under a policy/package.
+///
+/// ```no_run
+/// use hs_sim::{RunSpec, SimConfig, PolicyKind, HeatSink};
+/// use hs_workloads::{Workload, SpecWorkload};
+///
+/// let stats = RunSpec {
+///     workloads: vec![Workload::Spec(SpecWorkload::Gcc), Workload::Variant2],
+///     policy: PolicyKind::SelectiveSedation,
+///     sink: HeatSink::Realistic,
+///     config: SimConfig::experiment(),
+/// }
+/// .run();
+/// println!("victim IPC: {:.2}", stats.thread(0).ipc);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Workloads, one per hardware context (attach order = thread id).
+    pub workloads: Vec<Workload>,
+    /// The supervising DTM policy.
+    pub policy: PolicyKind,
+    /// The package model.
+    pub sink: HeatSink,
+    /// Simulation parameters.
+    pub config: SimConfig,
+}
+
+impl RunSpec {
+    /// A solo run of one workload.
+    #[must_use]
+    pub fn solo(w: Workload, policy: PolicyKind, sink: HeatSink, config: SimConfig) -> Self {
+        RunSpec {
+            workloads: vec![w],
+            policy,
+            sink,
+            config,
+        }
+    }
+
+    /// A two-thread SMT run.
+    #[must_use]
+    pub fn pair(
+        a: Workload,
+        b: Workload,
+        policy: PolicyKind,
+        sink: HeatSink,
+        config: SimConfig,
+    ) -> Self {
+        RunSpec {
+            workloads: vec![a, b],
+            policy,
+            sink,
+            config,
+        }
+    }
+
+    /// Executes the experiment: warm-up plus one measured quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workloads are specified or more than the configured
+    /// number of contexts.
+    #[must_use]
+    pub fn run(&self) -> SimStats {
+        let mut sim = Simulator::new(self.config, self.policy, self.sink);
+        for &w in &self.workloads {
+            sim.attach(w);
+        }
+        sim.run_quantum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_workloads::SpecWorkload;
+
+    /// A very fast configuration for unit tests: heavy time scaling.
+    fn fast() -> SimConfig {
+        let mut c = SimConfig::scaled(400.0);
+        c.warmup_cycles = 300_000;
+        c
+    }
+
+    #[test]
+    fn solo_run_produces_sane_stats() {
+        let stats = RunSpec::solo(
+            Workload::Spec(SpecWorkload::Gcc),
+            PolicyKind::StopAndGo,
+            HeatSink::Realistic,
+            fast(),
+        )
+        .run();
+        assert_eq!(stats.threads.len(), 1);
+        let t = stats.thread(0);
+        assert!(t.ipc > 0.1, "ipc {}", t.ipc);
+        assert!(t.int_regfile_rate > 0.1);
+        assert_eq!(t.breakdown.sedated_cycles, 0, "solo threads are never sedated");
+        assert_eq!(t.breakdown.total(), stats.cycles);
+        assert_eq!(stats.policy, "stop-and-go");
+    }
+
+    #[test]
+    fn ideal_sink_never_intervenes() {
+        let stats = RunSpec::pair(
+            Workload::Spec(SpecWorkload::Gcc),
+            Workload::Variant1,
+            PolicyKind::StopAndGo,
+            HeatSink::Ideal,
+            fast(),
+        )
+        .run();
+        assert_eq!(stats.emergencies, 0);
+        for t in &stats.threads {
+            assert_eq!(t.breakdown.global_stall_cycles, 0);
+            assert_eq!(t.breakdown.sedated_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn attacker_under_realistic_sink_causes_emergencies() {
+        let stats = RunSpec::pair(
+            Workload::Spec(SpecWorkload::Gcc),
+            Workload::Variant2,
+            PolicyKind::StopAndGo,
+            HeatSink::Realistic,
+            fast(),
+        )
+        .run();
+        assert!(stats.emergencies > 0, "variant2 must trip emergencies");
+        assert!(
+            stats.thread(0).breakdown.global_stall_cycles > 0,
+            "stop-and-go must stall the victim too"
+        );
+        assert!(stats.peak_temp() >= 358.5);
+    }
+
+    #[test]
+    fn sedation_gates_the_attacker_not_the_victim() {
+        let stats = RunSpec::pair(
+            Workload::Spec(SpecWorkload::Gcc),
+            Workload::Variant2,
+            PolicyKind::SelectiveSedation,
+            HeatSink::Realistic,
+            fast(),
+        )
+        .run();
+        let victim = stats.thread(0);
+        let attacker = stats.thread(1);
+        assert!(attacker.sedations > 0, "attacker must be sedated");
+        assert!(
+            attacker.breakdown.sedated_cycles > 10 * victim.breakdown.sedated_cycles,
+            "sedation must fall on the attacker (attacker {} vs victim {})",
+            attacker.breakdown.sedated_cycles,
+            victim.breakdown.sedated_cycles
+        );
+    }
+}

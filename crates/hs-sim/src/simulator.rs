@@ -1,0 +1,239 @@
+//! The quantum simulator: pipeline + power + thermal + DTM in one loop.
+
+use crate::config::{HeatSink, PolicyKind, SimConfig};
+use crate::stats::{SimStats, ThreadBreakdown, ThreadSummary};
+use hs_core::{
+    BlockCounts, DtmInput, GlobalDvfs, NoDtm, RateCap, ReportKind, SelectiveSedation,
+    StopAndGo, ThermalPolicy,
+};
+use hs_cpu::pipeline::FetchGate;
+use hs_cpu::{AccessMatrix, Cpu, Resource, ThreadId, ALL_RESOURCES};
+use hs_power::{calibration, resource_block, PowerModel};
+use hs_thermal::{SensorBank, ThermalNetwork, ALL_BLOCKS, NUM_BLOCKS};
+use hs_workloads::Workload;
+
+/// An execution-driven simulation of one OS quantum on the SMT processor.
+///
+/// Construct with [`Simulator::new`], attach one workload per hardware
+/// context with [`Simulator::attach`], then call [`Simulator::run_quantum`].
+pub struct Simulator {
+    cfg: SimConfig,
+    cpu: Cpu,
+    model: PowerModel,
+    /// `None` models the ideal heat sink (infinite heat removal).
+    thermal: Option<ThermalNetwork>,
+    sensors: SensorBank,
+    policy: Box<dyn ThermalPolicy>,
+    names: Vec<&'static str>,
+}
+
+impl Simulator {
+    /// Creates a simulator with the requested DTM policy and package.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(cfg: SimConfig, policy: PolicyKind, sink: HeatSink) -> Self {
+        cfg.validate();
+        let cpu = Cpu::new(cfg.cpu, cfg.mem);
+        let model = PowerModel::new(cfg.energy);
+        let thermal = match sink {
+            HeatSink::Ideal => None,
+            HeatSink::Realistic => Some(ThermalNetwork::new(&cfg.thermal)),
+        };
+        let policy: Box<dyn ThermalPolicy> = match policy {
+            PolicyKind::None => Box::new(NoDtm::new()),
+            PolicyKind::StopAndGo => Box::new(StopAndGo::new(cfg.sedation.thresholds)),
+            PolicyKind::GlobalDvfs => Box::new(GlobalDvfs::new(cfg.sedation.thresholds, 2)),
+            PolicyKind::RateCap => {
+                Box::new(RateCap::new(cfg.rate_cap, cfg.cpu.contexts as usize))
+            }
+            PolicyKind::SelectiveSedation => Box::new(SelectiveSedation::new(
+                cfg.sedation,
+                cfg.cpu.contexts as usize,
+            )),
+        };
+        Simulator {
+            cfg,
+            cpu,
+            model,
+            thermal,
+            sensors: SensorBank::new(cfg.sensors),
+            policy,
+            names: Vec::new(),
+        }
+    }
+
+    /// Attaches a workload to the next free hardware context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all contexts are occupied.
+    pub fn attach(&mut self, workload: Workload) -> ThreadId {
+        self.names.push(workload.name());
+        self.cpu
+            .attach_thread(workload.program_with(&self.cfg.mem, self.cfg.time_scale))
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs the warm-up phase plus one measured quantum and returns its
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload has been attached.
+    pub fn run_quantum(&mut self) -> SimStats {
+        assert!(!self.names.is_empty(), "attach at least one workload");
+        let nthreads = self.cpu.num_threads();
+        let quantum = self.cfg.quantum_cycles;
+        let sample = self.cfg.sedation.sample_period_cycles;
+        let sensor = self.cfg.sensor_interval_cycles;
+        let sensor_dt = sensor as f64 / self.cfg.freq_hz;
+        let emergency_k = self.cfg.sedation.thresholds.emergency_k;
+
+        // ---- Warm-up: caches and predictors, no DTM, no thermal. ----
+        for _ in 0..self.cfg.warmup_cycles {
+            self.cpu.tick(FetchGate::open());
+        }
+        let _ = self.cpu.take_access_counts();
+        let committed_base: Vec<u64> = (0..nthreads)
+            .map(|t| self.cpu.thread_stats(ThreadId(t as u8)).committed)
+            .collect();
+
+        // ---- Thermal pre-warm: steady state of a typical load. ----
+        let ambient = self.cfg.thermal.ambient_k;
+        let mut temps = [ambient; NUM_BLOCKS];
+        if let Some(net) = &mut self.thermal {
+            // A slightly-below-normal operating point: warm package, but
+            // safely under the DTM thresholds so the first trigger happens
+            // only after the monitors have real history.
+            let nominal = calibration::chip_power(&self.model, 2.5, 1.0, self.cfg.freq_hz);
+            net.initialize_steady_state(&nominal);
+            temps = net.block_temps();
+        }
+
+        // ---- Measured quantum. ----
+        let mut gate = FetchGate::open();
+        let mut global_stall = false;
+        let mut power_accum = AccessMatrix::new();
+        let mut breakdowns = vec![ThreadBreakdown::default(); nthreads];
+        let mut regfile_accesses = vec![0u64; nthreads];
+        let mut peak_temps = temps;
+        let mut above_emergency = [false; NUM_BLOCKS];
+        let mut emergencies = 0u64;
+
+        for cycle in 1..=quantum {
+            if global_stall {
+                for b in &mut breakdowns {
+                    b.global_stall_cycles += 1;
+                }
+            } else {
+                self.cpu.tick(gate);
+                for (t, b) in breakdowns.iter_mut().enumerate() {
+                    if gate.is_gated(ThreadId(t as u8)) {
+                        b.sedated_cycles += 1;
+                    } else {
+                        b.normal_cycles += 1;
+                    }
+                }
+            }
+
+            if cycle % sample != 0 {
+                continue;
+            }
+
+            // Monitor sampling instant.
+            let counts = self.cpu.take_access_counts();
+            let mut block_counts = BlockCounts::new();
+            for t in 0..nthreads {
+                let tid = ThreadId(t as u8);
+                regfile_accesses[t] += counts.get(tid, Resource::IntRegFile);
+                for r in ALL_RESOURCES {
+                    let n = counts.get(tid, r);
+                    if n > 0 {
+                        block_counts.add(t, resource_block(r), n);
+                    }
+                }
+            }
+            power_accum.merge(&counts);
+
+            if cycle % sensor == 0 {
+                if let Some(net) = &mut self.thermal {
+                    let power = self.model.power(&power_accum, sensor, self.cfg.freq_hz);
+                    power_accum.clear();
+                    net.step(sensor_dt, &power);
+                    // Policies see sensor *readings*; the emergency count
+                    // and peaks below track physical truth.
+                    temps = self.sensors.read(net);
+                    let truth = net.block_temps();
+                    for b in ALL_BLOCKS {
+                        let i = b.index();
+                        peak_temps[i] = peak_temps[i].max(truth[i]);
+                        let above = truth[i] >= emergency_k;
+                        if above && !above_emergency[i] {
+                            emergencies += 1;
+                        }
+                        above_emergency[i] = above;
+                    }
+                } else {
+                    power_accum.clear();
+                }
+            }
+
+            let decision = self.policy.on_sample(&DtmInput {
+                cycle,
+                block_temps: &temps,
+                counts: &block_counts,
+                global_stalled: global_stall,
+            });
+            global_stall = decision.global_stall;
+            gate = decision.gate;
+        }
+
+        // ---- Collect. ----
+        let reports = self.policy.take_reports();
+        let threads = (0..nthreads)
+            .map(|t| {
+                let tid = ThreadId(t as u8);
+                let committed = self.cpu.thread_stats(tid).committed - committed_base[t];
+                ThreadSummary {
+                    name: self.names[t].to_string(),
+                    committed,
+                    ipc: committed as f64 / quantum as f64,
+                    int_regfile_rate: regfile_accesses[t] as f64 / quantum as f64,
+                    breakdown: breakdowns[t],
+                    sedations: reports
+                        .iter()
+                        .filter(|r| {
+                            r.kind == ReportKind::Sedated && r.thread == Some(tid)
+                        })
+                        .count() as u64,
+                }
+            })
+            .collect();
+        SimStats {
+            cycles: quantum,
+            threads,
+            emergencies,
+            peak_temps,
+            reports,
+            policy: self.policy.name(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("policy", &self.policy.name())
+            .field("threads", &self.names)
+            .field("quantum_cycles", &self.cfg.quantum_cycles)
+            .finish_non_exhaustive()
+    }
+}

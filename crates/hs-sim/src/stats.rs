@@ -1,0 +1,131 @@
+//! Quantum-level statistics: everything the paper's figures report.
+
+use hs_core::OsReport;
+use hs_thermal::NUM_BLOCKS;
+
+/// Where a thread's cycles went during the quantum (Figure 6's breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadBreakdown {
+    /// Cycles with the pipeline running and the thread's fetch open.
+    pub normal_cycles: u64,
+    /// Cycles lost to a global stall (stop-and-go cooling periods).
+    pub global_stall_cycles: u64,
+    /// Cycles with this thread's fetch gated (sedation stalls).
+    pub sedated_cycles: u64,
+}
+
+impl ThreadBreakdown {
+    /// Total cycles accounted.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.normal_cycles + self.global_stall_cycles + self.sedated_cycles
+    }
+
+    /// Fraction of the quantum in normal execution.
+    #[must_use]
+    pub fn normal_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.normal_cycles as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of the quantum lost to global (stop-and-go) stalls.
+    #[must_use]
+    pub fn stall_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.global_stall_cycles as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of the quantum spent sedated.
+    #[must_use]
+    pub fn sedated_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.sedated_cycles as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Per-thread results for one quantum.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadSummary {
+    /// Workload name.
+    pub name: String,
+    /// Committed instructions during the measured quantum.
+    pub committed: u64,
+    /// Committed instructions per cycle over the quantum.
+    pub ipc: f64,
+    /// Average integer-register-file accesses per cycle (Figure 3's
+    /// metric).
+    pub int_regfile_rate: f64,
+    /// Cycle breakdown (Figure 6).
+    pub breakdown: ThreadBreakdown,
+    /// How many times this thread was sedated.
+    pub sedations: u64,
+}
+
+/// Results of one simulated quantum.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Measured quantum length in cycles.
+    pub cycles: u64,
+    /// Per-thread summaries, in attach order.
+    pub threads: Vec<ThreadSummary>,
+    /// Times any block crossed the emergency temperature (Figure 4's
+    /// metric), counted by the simulator independent of policy.
+    pub emergencies: u64,
+    /// Peak temperature per block over the quantum (K).
+    pub peak_temps: [f64; NUM_BLOCKS],
+    /// All OS reports the policy produced.
+    pub reports: Vec<OsReport>,
+    /// The policy that supervised the run.
+    pub policy: &'static str,
+}
+
+impl SimStats {
+    /// The summary for thread `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn thread(&self, i: usize) -> &ThreadSummary {
+        &self.threads[i]
+    }
+
+    /// Peak temperature across all blocks (K).
+    #[must_use]
+    pub fn peak_temp(&self) -> f64 {
+        self.peak_temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let b = ThreadBreakdown {
+            normal_cycles: 60,
+            global_stall_cycles: 30,
+            sedated_cycles: 10,
+        };
+        let sum = b.normal_fraction() + b.stall_fraction() + b.sedated_fraction();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(b.total(), 100);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = ThreadBreakdown::default();
+        assert_eq!(b.normal_fraction(), 0.0);
+        assert_eq!(b.total(), 0);
+    }
+}

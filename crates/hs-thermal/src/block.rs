@@ -1,0 +1,191 @@
+//! The floorplan blocks of the modelled core.
+//!
+//! Block identities and relative areas follow the Alpha-21264-style
+//! floorplan distributed with HotSpot (which the paper uses: "for the core
+//! of the processor we use the floorplan provided in \[12\]"), coarsened to
+//! the granularity at which the paper reports temperatures.
+
+use std::fmt;
+
+/// A floorplan block — one node of the thermal RC network and one
+/// accounting bucket of the power model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Block {
+    /// L1 instruction cache.
+    Icache,
+    /// L1 data cache.
+    Dcache,
+    /// Branch predictor + fetch logic.
+    Bpred,
+    /// Rename / map tables.
+    Rename,
+    /// Integer issue queue (RUU).
+    IntQ,
+    /// Integer register file — the paper's hot spot.
+    IntReg,
+    /// Integer execution units (ALUs + multiplier).
+    IntExec,
+    /// Load/store queue.
+    LdStQ,
+    /// Floating-point register file.
+    FpReg,
+    /// Floating-point adder.
+    FpAdd,
+    /// Floating-point multiplier / divider.
+    FpMul,
+    /// On-chip L2 cache (one lumped block).
+    L2,
+}
+
+/// Number of floorplan blocks.
+pub const NUM_BLOCKS: usize = 12;
+
+/// All blocks in `repr` order.
+pub const ALL_BLOCKS: [Block; NUM_BLOCKS] = [
+    Block::Icache,
+    Block::Dcache,
+    Block::Bpred,
+    Block::Rename,
+    Block::IntQ,
+    Block::IntReg,
+    Block::IntExec,
+    Block::LdStQ,
+    Block::FpReg,
+    Block::FpAdd,
+    Block::FpMul,
+    Block::L2,
+];
+
+impl Block {
+    /// Dense index in `0..NUM_BLOCKS`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Block area in square metres.
+    ///
+    /// Relative sizes follow the HotSpot ev6 floorplan: caches are large,
+    /// the register files and queues are small — which is exactly why they
+    /// make good hot spots (same power into less area and less thermal
+    /// capacitance).
+    #[must_use]
+    pub fn area_m2(self) -> f64 {
+        const MM2: f64 = 1e-6;
+        match self {
+            Block::Icache => 10.2 * MM2,
+            Block::Dcache => 10.2 * MM2,
+            Block::Bpred => 1.8 * MM2,
+            Block::Rename => 1.1 * MM2,
+            Block::IntQ => 1.0 * MM2,
+            Block::IntReg => 1.2 * MM2,
+            Block::IntExec => 6.2 * MM2,
+            Block::LdStQ => 1.3 * MM2,
+            Block::FpReg => 0.9 * MM2,
+            Block::FpAdd => 2.0 * MM2,
+            Block::FpMul => 2.2 * MM2,
+            Block::L2 => 60.0 * MM2,
+        }
+    }
+
+    /// A short, stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Block::Icache => "icache",
+            Block::Dcache => "dcache",
+            Block::Bpred => "bpred",
+            Block::Rename => "rename",
+            Block::IntQ => "intq",
+            Block::IntReg => "int-reg",
+            Block::IntExec => "int-exec",
+            Block::LdStQ => "ldstq",
+            Block::FpReg => "fp-reg",
+            Block::FpAdd => "fp-add",
+            Block::FpMul => "fp-mul",
+            Block::L2 => "l2",
+        }
+    }
+
+    /// Pairs of blocks that share a die edge (for lateral heat flow).
+    #[must_use]
+    pub fn adjacency() -> &'static [(Block, Block)] {
+        use Block::*;
+        &[
+            (Icache, Bpred),
+            (Icache, Dcache),
+            (Icache, L2),
+            (Dcache, LdStQ),
+            (Dcache, L2),
+            (Bpred, Rename),
+            (Rename, IntQ),
+            (IntQ, IntReg),
+            (IntReg, IntExec),
+            (IntExec, LdStQ),
+            (IntQ, LdStQ),
+            (Rename, FpReg),
+            (FpReg, FpAdd),
+            (FpAdd, FpMul),
+            (FpMul, L2),
+            (IntExec, L2),
+            (Bpred, L2),
+        ]
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, b) in ALL_BLOCKS.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+    }
+
+    #[test]
+    fn areas_are_positive_and_regfile_is_small() {
+        for b in ALL_BLOCKS {
+            assert!(b.area_m2() > 0.0);
+        }
+        assert!(Block::IntReg.area_m2() < Block::Icache.area_m2());
+        assert!(Block::IntReg.area_m2() < Block::L2.area_m2());
+    }
+
+    #[test]
+    fn adjacency_is_valid_and_symmetric_free() {
+        let mut seen = HashSet::new();
+        for &(a, b) in Block::adjacency() {
+            assert_ne!(a, b, "self-adjacency");
+            // No duplicate pair in either order.
+            assert!(seen.insert((a.min(b), a.max(b))), "duplicate edge {a}-{b}");
+        }
+    }
+
+    #[test]
+    fn every_block_has_a_neighbor() {
+        let mut connected = HashSet::new();
+        for &(a, b) in Block::adjacency() {
+            connected.insert(a);
+            connected.insert(b);
+        }
+        for b in ALL_BLOCKS {
+            assert!(connected.contains(&b), "{b} is isolated");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<_> = ALL_BLOCKS.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), NUM_BLOCKS);
+    }
+}

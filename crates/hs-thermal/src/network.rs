@@ -1,0 +1,409 @@
+//! The thermal RC network and its integrator.
+
+use crate::block::{Block, ALL_BLOCKS, NUM_BLOCKS};
+use crate::config::ThermalConfig;
+use crate::power_vector::PowerVector;
+
+/// Node indices: blocks occupy `0..NUM_BLOCKS`, then spreader, then sink.
+const SPREADER: usize = NUM_BLOCKS;
+const SINK: usize = NUM_BLOCKS + 1;
+const NUM_NODES: usize = NUM_BLOCKS + 2;
+
+/// The lumped thermal RC network.
+///
+/// See the crate-level documentation for the modelled topology. All
+/// temperatures are absolute kelvin.
+#[derive(Debug, Clone)]
+pub struct ThermalNetwork {
+    config: ThermalConfig,
+    /// Node temperatures (K).
+    temps: [f64; NUM_NODES],
+    /// Node capacitances (J/K), already time-scaled.
+    caps: [f64; NUM_NODES],
+    /// Conductive edges `(i, j, g)` with `g` in W/K.
+    edges: Vec<(usize, usize, f64)>,
+    /// Conductance from the sink to the (fixed-temperature) ambient.
+    g_ambient: f64,
+    /// Largest stable Euler step (s), 0.5 × min_i C_i / Σ_j g_ij.
+    max_dt: f64,
+}
+
+impl ThermalNetwork {
+    /// Builds the network for the default floorplan. All nodes start at the
+    /// ambient temperature; call [`Self::initialize_steady_state`] to
+    /// pre-warm the package.
+    #[must_use]
+    pub fn new(config: &ThermalConfig) -> Self {
+        let mut caps = [0.0; NUM_NODES];
+        for b in ALL_BLOCKS {
+            caps[b.index()] = config.block_capacitance(b.area_m2());
+        }
+        caps[SPREADER] = config.spreader_capacitance / config.time_scale;
+        caps[SINK] = config.sink_capacitance / config.time_scale;
+
+        let mut edges = Vec::new();
+        // Vertical: block -> spreader.
+        for b in ALL_BLOCKS {
+            edges.push((b.index(), SPREADER, config.vertical_conductance(b.area_m2())));
+        }
+        // Lateral: adjacent blocks.
+        for &(a, b) in Block::adjacency() {
+            let g = config.lateral_conductance(a.area_m2(), b.area_m2());
+            edges.push((a.index(), b.index(), g));
+        }
+        // Spreader -> sink.
+        edges.push((SPREADER, SINK, 1.0 / config.spreader_resistance));
+        let g_ambient = 1.0 / config.convection_resistance;
+
+        // Stability bound.
+        let mut g_sum = [0.0; NUM_NODES];
+        for &(i, j, g) in &edges {
+            g_sum[i] += g;
+            g_sum[j] += g;
+        }
+        g_sum[SINK] += g_ambient;
+        let max_dt = (0..NUM_NODES)
+            .map(|i| caps[i] / g_sum[i])
+            .fold(f64::INFINITY, f64::min)
+            * 0.5;
+
+        ThermalNetwork {
+            config: *config,
+            temps: [config.ambient_k; NUM_NODES],
+            caps,
+            edges,
+            g_ambient,
+            max_dt,
+        }
+    }
+
+    /// The configuration the network was built with.
+    #[must_use]
+    pub fn config(&self) -> &ThermalConfig {
+        &self.config
+    }
+
+    /// Current temperature of a floorplan block, in kelvin.
+    #[must_use]
+    pub fn block_temp(&self, block: Block) -> f64 {
+        self.temps[block.index()]
+    }
+
+    /// All block temperatures, in [`ALL_BLOCKS`] order.
+    #[must_use]
+    pub fn block_temps(&self) -> [f64; NUM_BLOCKS] {
+        let mut out = [0.0; NUM_BLOCKS];
+        out.copy_from_slice(&self.temps[..NUM_BLOCKS]);
+        out
+    }
+
+    /// The hottest block and its temperature.
+    #[must_use]
+    pub fn hottest_block(&self) -> (Block, f64) {
+        ALL_BLOCKS
+            .iter()
+            .map(|&b| (b, self.block_temp(b)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("there is at least one block")
+    }
+
+    /// Heat-spreader temperature (K).
+    #[must_use]
+    pub fn spreader_temp(&self) -> f64 {
+        self.temps[SPREADER]
+    }
+
+    /// Heat-sink temperature (K).
+    #[must_use]
+    pub fn sink_temp(&self) -> f64 {
+        self.temps[SINK]
+    }
+
+    /// Advances the network `dt` seconds with constant per-block `power`.
+    /// Internally subdivides into stable forward-Euler substeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or not finite.
+    pub fn step(&mut self, dt: f64, power: &PowerVector) {
+        assert!(dt.is_finite() && dt >= 0.0, "dt must be non-negative");
+        if dt == 0.0 {
+            return;
+        }
+        let substeps = (dt / self.max_dt).ceil().max(1.0) as u64;
+        let h = dt / substeps as f64;
+        for _ in 0..substeps {
+            self.euler_substep(h, power);
+        }
+    }
+
+    fn euler_substep(&mut self, h: f64, power: &PowerVector) {
+        let mut flow = [0.0f64; NUM_NODES];
+        for b in ALL_BLOCKS {
+            flow[b.index()] += power.get(b);
+        }
+        for &(i, j, g) in &self.edges {
+            let q = g * (self.temps[i] - self.temps[j]);
+            flow[i] -= q;
+            flow[j] += q;
+        }
+        flow[SINK] += self.g_ambient * (self.config.ambient_k - self.temps[SINK]);
+        for i in 0..NUM_NODES {
+            self.temps[i] += h * flow[i] / self.caps[i];
+        }
+    }
+
+    /// Solves for and installs the steady-state temperatures under `power`.
+    ///
+    /// This mirrors HotSpot's initialization practice: the sink's RC is tens
+    /// of seconds, far longer than any simulated quantum, so the package is
+    /// pre-warmed to the steady state of the expected average power.
+    pub fn initialize_steady_state(&mut self, power: &PowerVector) {
+        self.temps = self.solve_steady_state(power);
+    }
+
+    /// Computes (without installing) the steady-state temperatures under
+    /// `power`. Exposed for calibration: per-access energies in `hs-power`
+    /// are chosen so these steady points land on the paper's anchors.
+    #[must_use]
+    pub fn steady_state_temp(&self, power: &PowerVector, block: Block) -> f64 {
+        self.solve_steady_state(power)[block.index()]
+    }
+
+    fn solve_steady_state(&self, power: &PowerVector) -> [f64; NUM_NODES] {
+        // Conductance matrix G (relative to ambient) and injection vector.
+        let n = NUM_NODES;
+        let mut g = vec![vec![0.0f64; n]; n];
+        let mut rhs = vec![0.0f64; n];
+        for &(i, j, cond) in &self.edges {
+            g[i][i] += cond;
+            g[j][j] += cond;
+            g[i][j] -= cond;
+            g[j][i] -= cond;
+        }
+        g[SINK][SINK] += self.g_ambient;
+        for b in ALL_BLOCKS {
+            rhs[b.index()] = power.get(b);
+        }
+        // Gaussian elimination with partial pivoting (n = 14; trivial cost).
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&a, &b| g[a][col].abs().total_cmp(&g[b][col].abs()))
+                .expect("non-empty range");
+            g.swap(col, pivot);
+            rhs.swap(col, pivot);
+            let diag = g[col][col];
+            assert!(
+                diag.abs() > 1e-30,
+                "singular thermal conductance matrix (disconnected node?)"
+            );
+            for row in (col + 1)..n {
+                let factor = g[row][col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    g[row][k] -= factor * g[col][k];
+                }
+                rhs[row] -= factor * rhs[col];
+            }
+        }
+        let mut sol = [0.0f64; NUM_NODES];
+        for row in (0..n).rev() {
+            let mut acc = rhs[row];
+            for k in (row + 1)..n {
+                acc -= g[row][k] * sol[k];
+            }
+            sol[row] = acc / g[row][row];
+        }
+        // Solution is relative to ambient.
+        for t in &mut sol {
+            *t += self.config.ambient_k;
+        }
+        sol
+    }
+
+    /// Resets every node to ambient.
+    pub fn reset(&mut self) {
+        self.temps = [self.config.ambient_k; NUM_NODES];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ThermalConfig {
+        ThermalConfig::default()
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let mut net = ThermalNetwork::new(&cfg());
+        net.step(1.0, &PowerVector::zero());
+        for b in ALL_BLOCKS {
+            assert!((net.block_temp(b) - cfg().ambient_k).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn heating_approaches_steady_state() {
+        let mut net = ThermalNetwork::new(&cfg());
+        let mut p = PowerVector::zero();
+        p.set(Block::IntReg, 3.0);
+        let target = net.steady_state_temp(&p, Block::IntReg);
+        assert!(target > cfg().ambient_k + 1.0);
+        // Integrate long enough for the block to converge (package nodes
+        // converge much more slowly but the block rides on them).
+        net.initialize_steady_state(&p);
+        assert!((net.block_temp(Block::IntReg) - target).abs() < 1e-6);
+        // A transient step keeps it there (fixed point of the dynamics).
+        net.step(0.01, &p);
+        assert!((net.block_temp(Block::IntReg) - target).abs() < 0.05);
+    }
+
+    #[test]
+    fn monotone_in_power() {
+        // More power anywhere can never cool any block (diagonally dominant
+        // resistive network): a property the DTM logic relies on.
+        let net = ThermalNetwork::new(&cfg());
+        let mut lo = PowerVector::zero();
+        lo.set(Block::IntReg, 1.0);
+        let mut hi = lo;
+        hi.set(Block::IntReg, 2.0);
+        hi.set(Block::L2, 5.0);
+        for b in ALL_BLOCKS {
+            assert!(net.steady_state_temp(&hi, b) >= net.steady_state_temp(&lo, b) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn hot_block_cools_when_power_removed() {
+        let mut net = ThermalNetwork::new(&cfg());
+        let mut p = PowerVector::zero();
+        p.set(Block::IntReg, 4.0);
+        net.initialize_steady_state(&p);
+        let hot = net.block_temp(Block::IntReg);
+        net.step(0.050, &PowerVector::zero()); // 50 ms with no power
+        let cooled = net.block_temp(Block::IntReg);
+        assert!(cooled < hot - 0.5, "hot={hot} cooled={cooled}");
+    }
+
+    #[test]
+    fn cooling_time_constant_is_order_10ms() {
+        // The paper: "for a typical heat sink the cooling time is in the
+        // order of 10 ms". Heat the regfile ~5 K above its base, cut power,
+        // and check it sheds ~2/3 of the excess within 5–30 ms.
+        let mut net = ThermalNetwork::new(&cfg());
+        let mut base_p = PowerVector::from_fn(|_| 1.0);
+        base_p.set(Block::L2, 6.0);
+        let mut attack_p = base_p;
+        attack_p.add(Block::IntReg, 4.0);
+        net.initialize_steady_state(&attack_p);
+        let hot = net.block_temp(Block::IntReg);
+        let mut base_net = net.clone();
+        base_net.initialize_steady_state(&base_p);
+        let base = base_net.block_temp(Block::IntReg);
+        assert!(hot > base + 3.0);
+
+        // Drop back to base power; find time to shed 63% of the excess.
+        let excess = hot - base;
+        let mut t = 0.0;
+        while net.block_temp(Block::IntReg) > base + excess * 0.37 {
+            net.step(0.001, &base_p);
+            t += 0.001;
+            assert!(t < 0.2, "cooling took unreasonably long");
+        }
+        assert!(
+            (0.002..0.040).contains(&t),
+            "cooling tau = {t} s, expected order 10 ms"
+        );
+    }
+
+    #[test]
+    fn time_scale_preserves_steady_state_but_compresses_transients() {
+        let mut p = PowerVector::zero();
+        p.set(Block::IntReg, 4.0);
+
+        let net1 = ThermalNetwork::new(&cfg());
+        let net25 = ThermalNetwork::new(&cfg().with_time_scale(25.0));
+        // Steady state is resistive only: identical.
+        assert!(
+            (net1.steady_state_temp(&p, Block::IntReg)
+                - net25.steady_state_temp(&p, Block::IntReg))
+            .abs()
+                < 1e-9
+        );
+        // Transient: scaled network covers in t/25 what the physical one
+        // covers in t.
+        let mut a = net1.clone();
+        let mut b = net25.clone();
+        a.step(0.025, &p);
+        b.step(0.001, &p);
+        assert!((a.block_temp(Block::IntReg) - b.block_temp(Block::IntReg)).abs() < 0.05);
+    }
+
+    #[test]
+    fn lateral_spread_is_weak() {
+        // A register-file hot spot barely warms the distant L2: lateral
+        // paths are much weaker than the vertical escape path.
+        let net = ThermalNetwork::new(&cfg());
+        let mut p = PowerVector::zero();
+        p.set(Block::IntReg, 4.0);
+        let rise_reg = net.steady_state_temp(&p, Block::IntReg) - cfg().ambient_k;
+        let rise_l2 = net.steady_state_temp(&p, Block::L2) - cfg().ambient_k;
+        assert!(rise_l2 < rise_reg * 0.5);
+    }
+
+    #[test]
+    fn convection_resistance_moves_global_temperature() {
+        // §5.5 of the paper: better packaging (lower convection R) lowers
+        // steady temperatures chip-wide.
+        let p = PowerVector::from_fn(|_| 2.0);
+        let base = ThermalNetwork::new(&cfg());
+        let better = ThermalNetwork::new(&cfg().with_convection_resistance(0.4));
+        for b in ALL_BLOCKS {
+            assert!(better.steady_state_temp(&p, b) < base.steady_state_temp(&p, b));
+        }
+    }
+
+    #[test]
+    fn hottest_block_is_the_powered_one() {
+        let mut net = ThermalNetwork::new(&cfg());
+        let mut p = PowerVector::zero();
+        p.set(Block::FpMul, 5.0);
+        net.initialize_steady_state(&p);
+        let (b, t) = net.hottest_block();
+        assert_eq!(b, Block::FpMul);
+        assert!(t > cfg().ambient_k);
+    }
+
+    #[test]
+    fn reset_returns_to_ambient() {
+        let mut net = ThermalNetwork::new(&cfg());
+        let mut p = PowerVector::zero();
+        p.set(Block::IntReg, 4.0);
+        net.initialize_steady_state(&p);
+        net.reset();
+        assert_eq!(net.block_temp(Block::IntReg), cfg().ambient_k);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dt_panics() {
+        let mut net = ThermalNetwork::new(&cfg());
+        net.step(-1.0, &PowerVector::zero());
+    }
+
+    #[test]
+    fn euler_is_stable_for_large_steps() {
+        // A 1-second step must not blow up (substepping handles it).
+        let mut net = ThermalNetwork::new(&cfg());
+        let p = PowerVector::from_fn(|_| 3.0);
+        net.step(1.0, &p);
+        for b in ALL_BLOCKS {
+            let t = net.block_temp(b);
+            assert!(t.is_finite() && t < 500.0, "{b} diverged to {t}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-block power input to the thermal network.
+
+use crate::block::{Block, ALL_BLOCKS, NUM_BLOCKS};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Power (watts) dissipated in each floorplan block over an interval.
+///
+/// ```
+/// use hs_thermal::{PowerVector, Block};
+/// let mut p = PowerVector::zero();
+/// p.set(Block::IntReg, 2.5);
+/// p.add(Block::IntReg, 0.5);
+/// assert_eq!(p.get(Block::IntReg), 3.0);
+/// assert_eq!(p.total(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerVector {
+    watts: [f64; NUM_BLOCKS],
+}
+
+impl PowerVector {
+    /// All-zero power.
+    #[must_use]
+    pub fn zero() -> Self {
+        PowerVector {
+            watts: [0.0; NUM_BLOCKS],
+        }
+    }
+
+    /// Builds a vector from a per-block function.
+    #[must_use]
+    pub fn from_fn(mut f: impl FnMut(Block) -> f64) -> Self {
+        let mut v = PowerVector::zero();
+        for b in ALL_BLOCKS {
+            v.set(b, f(b));
+        }
+        v
+    }
+
+    /// The power for one block.
+    #[must_use]
+    pub fn get(&self, block: Block) -> f64 {
+        self.watts[block.index()]
+    }
+
+    /// Sets the power for one block.
+    pub fn set(&mut self, block: Block, watts: f64) {
+        self.watts[block.index()] = watts;
+    }
+
+    /// Adds power to one block.
+    pub fn add(&mut self, block: Block, watts: f64) {
+        self.watts[block.index()] += watts;
+    }
+
+    /// Total chip power.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.watts.iter().sum()
+    }
+
+    /// Scales every entry by `factor`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut v = *self;
+        for w in &mut v.watts {
+            *w *= factor;
+        }
+        v
+    }
+
+    /// Iterates over `(block, watts)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Block, f64)> + '_ {
+        ALL_BLOCKS.iter().map(move |&b| (b, self.get(b)))
+    }
+}
+
+impl Default for PowerVector {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl Add for PowerVector {
+    type Output = PowerVector;
+
+    fn add(mut self, rhs: PowerVector) -> PowerVector {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for PowerVector {
+    fn add_assign(&mut self, rhs: PowerVector) {
+        for i in 0..NUM_BLOCKS {
+            self.watts[i] += rhs.watts[i];
+        }
+    }
+}
+
+impl fmt::Display for PowerVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (b, w) in self.iter() {
+            writeln!(f, "{b:>9}: {w:7.3} W")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let mut a = PowerVector::zero();
+        a.set(Block::L2, 5.0);
+        let mut b = PowerVector::zero();
+        b.set(Block::L2, 1.0);
+        b.set(Block::IntReg, 2.0);
+        let c = a + b;
+        assert_eq!(c.get(Block::L2), 6.0);
+        assert_eq!(c.get(Block::IntReg), 2.0);
+        assert_eq!(c.total(), 8.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let v = PowerVector::from_fn(|_| 1.0).scaled(2.0);
+        assert_eq!(v.total(), 2.0 * NUM_BLOCKS as f64);
+    }
+
+    #[test]
+    fn display_lists_all_blocks() {
+        let s = PowerVector::zero().to_string();
+        assert!(s.contains("int-reg"));
+        assert!(s.lines().count() == NUM_BLOCKS);
+    }
+}

@@ -1,0 +1,218 @@
+//! Temperature-sensor modelling: quantization, offset, and noise.
+//!
+//! Real on-die thermal sensors are imprecise — which is exactly why the
+//! paper (following Brooks & Martonosi) sets DTM triggers *below* the true
+//! emergency temperature: "we borrow from \[1\] and adjust the temperature
+//! sensors to trigger at a temperature slightly below the emergency
+//! temperature". This module lets the simulator expose realistic readings
+//! to the DTM policies so that margin can be evaluated.
+//!
+//! Noise is generated with a deterministic xorshift PRNG so simulations
+//! remain reproducible.
+
+use crate::block::NUM_BLOCKS;
+use crate::network::ThermalNetwork;
+
+/// Sensor error model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorConfig {
+    /// Gaussian-ish noise amplitude (K); each reading is perturbed by a
+    /// uniform sample in `[-noise_k, +noise_k]` (a bounded approximation
+    /// of sensor noise).
+    pub noise_k: f64,
+    /// Systematic offset (K), e.g. from sensor placement away from the
+    /// true hot spot.
+    pub offset_k: f64,
+    /// Quantization step (K); 0 disables quantization. Digital thermal
+    /// sensors typically report in 0.25–1 K steps.
+    pub quantization_k: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        // Ideal sensors: the paper's evaluation assumes the margin between
+        // the upper threshold and the emergency absorbs sensor error.
+        SensorConfig {
+            noise_k: 0.0,
+            offset_k: 0.0,
+            quantization_k: 0.0,
+            seed: 0x5eed_0001,
+        }
+    }
+}
+
+impl SensorConfig {
+    /// A realistic digital sensor: ±0.5 K noise, 0.25 K quantization.
+    #[must_use]
+    pub fn realistic() -> Self {
+        SensorConfig {
+            noise_k: 0.5,
+            offset_k: 0.0,
+            quantization_k: 0.25,
+            seed: 0x5eed_0001,
+        }
+    }
+
+    /// Validates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative noise or quantization.
+    pub fn validate(&self) {
+        assert!(self.noise_k >= 0.0, "noise must be non-negative");
+        assert!(self.quantization_k >= 0.0, "quantization must be non-negative");
+        assert!(self.offset_k.is_finite());
+    }
+}
+
+/// A bank of per-block temperature sensors.
+#[derive(Debug, Clone)]
+pub struct SensorBank {
+    cfg: SensorConfig,
+    state: u64,
+}
+
+impl SensorBank {
+    /// Creates the bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(cfg: SensorConfig) -> Self {
+        cfg.validate();
+        SensorBank {
+            cfg,
+            state: cfg.seed.max(1),
+        }
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let v = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        // Map the top 53 bits to [0, 1), then to [-1, 1).
+        (v >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+
+    /// Reads every block's sensor given the true temperatures.
+    #[must_use]
+    pub fn read(&mut self, net: &ThermalNetwork) -> [f64; NUM_BLOCKS] {
+        let mut out = net.block_temps();
+        for t in &mut out {
+            *t += self.cfg.offset_k;
+            if self.cfg.noise_k > 0.0 {
+                *t += self.next_unit() * self.cfg.noise_k;
+            }
+            if self.cfg.quantization_k > 0.0 {
+                *t = (*t / self.cfg.quantization_k).round() * self.cfg.quantization_k;
+            }
+        }
+        out
+    }
+
+    /// The configured error model.
+    #[must_use]
+    pub fn config(&self) -> &SensorConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, ALL_BLOCKS};
+    use crate::config::ThermalConfig;
+    use crate::power_vector::PowerVector;
+
+    fn warm_net() -> ThermalNetwork {
+        let mut net = ThermalNetwork::new(&ThermalConfig::default());
+        let mut p = PowerVector::from_fn(|_| 2.0);
+        p.set(Block::IntReg, 3.0);
+        net.initialize_steady_state(&p);
+        net
+    }
+
+    #[test]
+    fn ideal_sensors_read_exactly() {
+        let net = warm_net();
+        let mut bank = SensorBank::new(SensorConfig::default());
+        let readings = bank.read(&net);
+        for b in ALL_BLOCKS {
+            assert_eq!(readings[b.index()], net.block_temp(b));
+        }
+    }
+
+    #[test]
+    fn noise_is_bounded_and_nonzero() {
+        let net = warm_net();
+        let mut bank = SensorBank::new(SensorConfig {
+            noise_k: 0.5,
+            ..SensorConfig::default()
+        });
+        let mut any_diff = false;
+        for _ in 0..50 {
+            let readings = bank.read(&net);
+            for b in ALL_BLOCKS {
+                let e = readings[b.index()] - net.block_temp(b);
+                assert!(e.abs() <= 0.5 + 1e-9, "noise {e} out of bound");
+                if e.abs() > 1e-12 {
+                    any_diff = true;
+                }
+            }
+        }
+        assert!(any_diff, "noise never perturbed anything");
+    }
+
+    #[test]
+    fn quantization_snaps_readings() {
+        let net = warm_net();
+        let mut bank = SensorBank::new(SensorConfig {
+            quantization_k: 0.25,
+            ..SensorConfig::default()
+        });
+        for r in bank.read(&net) {
+            let q = r / 0.25;
+            assert!((q - q.round()).abs() < 1e-9, "{r} not on the 0.25 K grid");
+        }
+    }
+
+    #[test]
+    fn offset_shifts_uniformly() {
+        let net = warm_net();
+        let mut bank = SensorBank::new(SensorConfig {
+            offset_k: -1.5,
+            ..SensorConfig::default()
+        });
+        let readings = bank.read(&net);
+        for b in ALL_BLOCKS {
+            assert!((readings[b.index()] - (net.block_temp(b) - 1.5)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let net = warm_net();
+        let cfg = SensorConfig::realistic();
+        let mut a = SensorBank::new(cfg);
+        let mut b = SensorBank::new(cfg);
+        for _ in 0..10 {
+            assert_eq!(a.read(&net), b.read(&net));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_rejected() {
+        let _ = SensorBank::new(SensorConfig {
+            noise_k: -1.0,
+            ..SensorConfig::default()
+        });
+    }
+}

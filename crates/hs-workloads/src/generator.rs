@@ -1,0 +1,401 @@
+//! A deterministic program generator for synthetic workloads.
+//!
+//! A workload is an infinite outer loop over *segments*; each segment is a
+//! counted inner loop over a small unrolled body. The segment vocabulary is
+//! chosen to span the behaviours the paper's evaluation depends on:
+//! integer ILP (register-file pressure), floating-point work, cache-resident
+//! and memory-bound scans, L2 set-conflict misses, and hard-to-predict
+//! branches.
+
+use hs_isa::{AluOp, BranchCond, FpOp, FpReg, IntReg, Operand, Program, ProgramBuilder};
+
+/// Register allocation convention used by the generator:
+/// * `r1..=r12` — integer dependence chains (ILP control),
+/// * `r16..r19` — scratch (pointers, offsets, toggles),
+/// * `r20..r23` — loop counters (outer to inner),
+/// * `r24..r27` — constants.
+const CHAIN_BASE: u8 = 1;
+const MAX_ILP: u8 = 12;
+const SCRATCH_PTR: u8 = 16;
+const SCRATCH_OFF: u8 = 17;
+/// MemScan keeps its own offset registers so interleaved Mixed segments
+/// (or a second scan with a different mask) cannot clamp a scan region
+/// down to their own. Cache-resident scans use one register, memory-bound
+/// scans (> 2 MB) another, and the two walk disjoint address regions.
+const SCRATCH_SCAN_OFF: u8 = 20;
+const SCRATCH_SCAN_OFF_BIG: u8 = 21;
+const BIG_SCAN_REGION: u64 = 2 << 20;
+const SCRATCH_TOGGLE: u8 = 18;
+const SCRATCH_ADDR: u8 = 19;
+const COUNTER: u8 = 22;
+const CONST_SRC: u8 = 24;
+
+/// One phase of a synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// `insts` independent-ish integer ALU operations spread over `ilp`
+    /// dependence chains. Three register-file accesses per instruction —
+    /// this is the "hot" segment.
+    IntBurst {
+        /// Number of ALU instructions to execute.
+        insts: u32,
+        /// Number of independent dependence chains (1 = serial).
+        ilp: u8,
+    },
+    /// Floating-point work over `ilp` chains (`FpAdd`/`FpMul` mix).
+    FpBurst {
+        /// Number of FP instructions.
+        insts: u32,
+        /// Independent chains.
+        ilp: u8,
+    },
+    /// A strided scan of a `region_bytes` working set: hits in L1/L2 or
+    /// misses to memory depending on the region size.
+    MemScan {
+        /// Number of loads to execute.
+        loads: u32,
+        /// Byte stride between consecutive loads.
+        stride: u64,
+        /// Working-set size (power of two).
+        region_bytes: u64,
+    },
+    /// `rounds` rounds of nine loads that all map to the same set of the
+    /// 8-way L2 (the paper's Figure-2 conflict pattern): every load misses
+    /// all the way to memory.
+    L2Conflict {
+        /// Number of nine-load rounds.
+        rounds: u32,
+        /// The L2 way stride (line_bytes × sets), from the memory config.
+        way_stride: u64,
+    },
+    /// Integer work salted with loads, stores and a poorly predictable
+    /// toggle branch — "ordinary program" filler.
+    Mixed {
+        /// Number of body iterations (each ≈8 instructions).
+        iters: u32,
+        /// Independent integer chains.
+        ilp: u8,
+        /// Working-set size for the embedded loads/stores.
+        region_bytes: u64,
+        /// Whether to include the alternating (mispredicting) branch.
+        toggle_branch: bool,
+    },
+}
+
+/// A named synthetic workload: a list of segments executed round-robin
+/// forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// The segments, executed in order inside an infinite loop.
+    pub segments: Vec<Segment>,
+}
+
+/// Data-region base address for generated programs (distinct from the code
+/// region; per-thread physical separation is applied by the CPU).
+const DATA_BASE: u64 = 0x100_0000;
+
+/// Compiles a [`WorkloadSpec`] into an executable [`Program`].
+///
+/// The program never halts: the outer loop runs forever, matching the
+/// paper's methodology of simulating a full OS quantum.
+///
+/// # Panics
+///
+/// Panics if a segment has zero work, `ilp` out of `1..=12`, or a region
+/// that is not a power of two.
+#[must_use]
+pub fn build_program(spec: &WorkloadSpec) -> Program {
+    assert!(!spec.segments.is_empty(), "workload needs at least one segment");
+    let mut b = ProgramBuilder::new();
+    // Constants.
+    b.load_imm(IntReg::new(CONST_SRC), 7);
+    b.load_imm(IntReg::new(SCRATCH_PTR), DATA_BASE);
+    b.load_imm(IntReg::new(SCRATCH_OFF), 0);
+    b.load_imm(IntReg::new(SCRATCH_SCAN_OFF), 0);
+    b.load_imm(IntReg::new(SCRATCH_SCAN_OFF_BIG), 0);
+    b.load_imm(IntReg::new(SCRATCH_TOGGLE), 0);
+    let outer = b.label();
+    for seg in &spec.segments {
+        emit_segment(&mut b, seg);
+    }
+    b.jump(outer);
+    b.build().expect("generated programs always have bound labels")
+}
+
+fn emit_segment(b: &mut ProgramBuilder, seg: &Segment) {
+    match *seg {
+        Segment::IntBurst { insts, ilp } => emit_int_burst(b, insts, ilp),
+        Segment::FpBurst { insts, ilp } => emit_fp_burst(b, insts, ilp),
+        Segment::MemScan {
+            loads,
+            stride,
+            region_bytes,
+        } => emit_mem_scan(b, loads, stride, region_bytes),
+        Segment::L2Conflict { rounds, way_stride } => emit_l2_conflict(b, rounds, way_stride),
+        Segment::Mixed {
+            iters,
+            ilp,
+            region_bytes,
+            toggle_branch,
+        } => emit_mixed(b, iters, ilp, region_bytes, toggle_branch),
+    }
+}
+
+/// Emits a counted loop around `body`, executing it `iters` times.
+fn counted_loop(b: &mut ProgramBuilder, iters: u32, body: impl FnOnce(&mut ProgramBuilder)) {
+    assert!(iters > 0, "loop must iterate at least once");
+    let counter = IntReg::new(COUNTER);
+    b.load_imm(counter, u64::from(iters));
+    let top = b.label();
+    body(b);
+    b.int_alu(AluOp::Sub, counter, counter, Operand::Imm(1));
+    b.branch(BranchCond::Ne, counter, Operand::Imm(0), top);
+}
+
+fn emit_int_burst(b: &mut ProgramBuilder, insts: u32, ilp: u8) {
+    assert!((1..=MAX_ILP).contains(&ilp), "ilp must be in 1..=12");
+    assert!(insts > 0);
+    // Unroll 48 per iteration; each instruction extends one of `ilp`
+    // chains: rd = rd op const (2 reads + 1 write on the int regfile).
+    let unroll: u32 = 48;
+    let iters = (insts / unroll).max(1);
+    let src = IntReg::new(CONST_SRC);
+    counted_loop(b, iters, |b| {
+        for i in 0..unroll {
+            let chain = IntReg::new(CHAIN_BASE + (i % u32::from(ilp)) as u8);
+            b.int_alu(AluOp::Add, chain, chain, Operand::Reg(src));
+        }
+    });
+}
+
+fn emit_fp_burst(b: &mut ProgramBuilder, insts: u32, ilp: u8) {
+    assert!((1..=8).contains(&ilp), "fp ilp must be in 1..=8");
+    assert!(insts > 0);
+    let unroll: u32 = 24;
+    let iters = (insts / unroll).max(1);
+    counted_loop(b, iters, |b| {
+        for i in 0..unroll {
+            let chain = FpReg::new(1 + (i % u32::from(ilp)) as u8);
+            let op = if i % 3 == 0 { FpOp::Mul } else { FpOp::Add };
+            b.fp_alu(op, chain, chain, FpReg::new(15));
+        }
+    });
+}
+
+fn emit_mem_scan(b: &mut ProgramBuilder, loads: u32, stride: u64, region_bytes: u64) {
+    assert!(loads > 0);
+    assert!(
+        region_bytes.is_power_of_two() && region_bytes >= 64,
+        "region must be a power of two ≥ 64"
+    );
+    let unroll: u32 = 4;
+    let iters = (loads / unroll).max(1);
+    let big = region_bytes > BIG_SCAN_REGION;
+    let off = IntReg::new(if big { SCRATCH_SCAN_OFF_BIG } else { SCRATCH_SCAN_OFF });
+    // Cache-resident scans live 64 MB away from the Mixed working set;
+    // memory-bound scans another 128 MB beyond that, so neither interferes.
+    let base_offset: i64 = if big { 192 << 20 } else { 64 << 20 };
+    let ptr = IntReg::new(SCRATCH_PTR);
+    let addr = IntReg::new(SCRATCH_ADDR);
+    counted_loop(b, iters, |b| {
+        for _ in 0..unroll {
+            b.int_alu(AluOp::Add, off, off, Operand::Imm(stride));
+            b.int_alu(AluOp::And, off, off, Operand::Imm(region_bytes - 1));
+            b.int_alu(AluOp::Add, addr, ptr, Operand::Reg(off));
+            b.load(IntReg::new(14), addr, base_offset);
+        }
+    });
+}
+
+fn emit_l2_conflict(b: &mut ProgramBuilder, rounds: u32, way_stride: u64) {
+    assert!(rounds > 0);
+    assert!(way_stride > 0);
+    let ptr = IntReg::new(SCRATCH_PTR);
+    counted_loop(b, rounds, |b| {
+        // Nine addresses one way-stride apart: with an 8-way L2 these
+        // round-robin accesses always conflict-miss (Figure 2's
+        // addr1..addr9).
+        for i in 0..9i64 {
+            b.load(IntReg::new(14), ptr, i * way_stride as i64);
+        }
+    });
+}
+
+fn emit_mixed(b: &mut ProgramBuilder, iters: u32, ilp: u8, region_bytes: u64, toggle_branch: bool) {
+    assert!((1..=MAX_ILP).contains(&ilp));
+    assert!(iters > 0);
+    assert!(region_bytes.is_power_of_two() && region_bytes >= 64);
+    let src = IntReg::new(CONST_SRC);
+    let off = IntReg::new(SCRATCH_OFF);
+    let ptr = IntReg::new(SCRATCH_PTR);
+    let addr = IntReg::new(SCRATCH_ADDR);
+    let toggle = IntReg::new(SCRATCH_TOGGLE);
+    counted_loop(b, iters, |b| {
+        // ~10-instruction body shaped like pointer-chasing application
+        // code: the loaded value feeds the next address computation, so the
+        // loop is serialized through the memory latency (this is what keeps
+        // ordinary programs' IPC — and register-file rate — moderate).
+        b.load(IntReg::new(14), addr, 0);
+        b.int_alu(AluOp::Add, off, off, Operand::Reg(IntReg::new(14)));
+        b.int_alu(AluOp::Add, off, off, Operand::Imm(72));
+        b.int_alu(AluOp::And, off, off, Operand::Imm(region_bytes - 1));
+        b.int_alu(AluOp::Add, addr, ptr, Operand::Reg(off));
+        // Store into a disjoint 32 MB-away shadow region: a constant small
+        // offset would act as a prefetcher for the linear load sweep.
+        b.store(IntReg::new(14), addr, 32 << 20);
+        for i in 0..4u8 {
+            let chain = IntReg::new(CHAIN_BASE + (i % ilp));
+            b.int_alu(AluOp::Add, chain, chain, Operand::Reg(src));
+        }
+        if toggle_branch {
+            // Alternating direction defeats a bimodal predictor ~50% of
+            // the time.
+            let skip = b.forward_label();
+            b.int_alu(AluOp::Xor, toggle, toggle, Operand::Imm(1));
+            b.branch(BranchCond::Eq, toggle, Operand::Imm(0), skip);
+            b.int_alu(AluOp::Add, IntReg::new(13), IntReg::new(13), Operand::Imm(1));
+            b.bind(skip);
+            b.nop();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_isa::Machine;
+
+    fn spec(segments: Vec<Segment>) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            segments,
+        }
+    }
+
+    #[test]
+    fn int_burst_program_executes() {
+        let p = build_program(&spec(vec![Segment::IntBurst { insts: 96, ilp: 4 }]));
+        let mut m = Machine::new(p);
+        // Runs forever; a bounded run must retire the bound.
+        assert_eq!(m.run(10_000), 10_000);
+        assert!(!m.state().halted);
+    }
+
+    #[test]
+    fn mem_scan_stays_inside_region() {
+        let region = 4096;
+        let p = build_program(&spec(vec![Segment::MemScan {
+            loads: 64,
+            stride: 64,
+            region_bytes: region,
+        }]));
+        let mut m = Machine::new(p);
+        m.run(100_000);
+        // Footprint bounded by region/wordsize (plus a little slack for the
+        // aligned wrap).
+        assert!(m.memory().footprint_words() == 0, "loads don't write");
+        // Offsets wrap: the offset register stays below the region size.
+        assert!(m.state().int_regs[SCRATCH_OFF as usize] < region);
+    }
+
+    #[test]
+    fn l2_conflict_addresses_share_a_set() {
+        let way_stride = 64 * 4096; // 2MB 8-way L2 with 64B lines
+        let p = build_program(&spec(vec![Segment::L2Conflict {
+            rounds: 2,
+            way_stride,
+        }]));
+        // Walk the program and collect load addresses functionally.
+        let mut m = Machine::new(p);
+        let mut addrs = Vec::new();
+        for _ in 0..200 {
+            if let Some(out) = m.step() {
+                if let Some(a) = out.mem_addr {
+                    addrs.push(a);
+                }
+            }
+        }
+        assert!(addrs.len() >= 18);
+        let set_of = |a: u64| (a / 64) % 4096;
+        let s0 = set_of(addrs[0]);
+        assert!(addrs.iter().all(|&a| set_of(a) == s0));
+        // And at least 9 distinct tags (blocks).
+        let tags: std::collections::HashSet<u64> =
+            addrs.iter().map(|&a| a / way_stride).collect();
+        assert!(tags.len() >= 9);
+    }
+
+    #[test]
+    fn mixed_toggle_branch_alternates() {
+        let p = build_program(&spec(vec![Segment::Mixed {
+            iters: 8,
+            ilp: 2,
+            region_bytes: 1024,
+            toggle_branch: true,
+        }]));
+        let mut m = Machine::new(p);
+        let mut outcomes = Vec::new();
+        for _ in 0..2_000 {
+            if let Some(out) = m.step() {
+                if let Some(taken) = out.branch_taken {
+                    outcomes.push(taken);
+                }
+            }
+        }
+        // The toggle branch plus the loop back-edges: both directions occur.
+        assert!(outcomes.iter().any(|&t| t));
+        assert!(outcomes.iter().any(|&t| !t));
+    }
+
+    #[test]
+    fn multi_segment_workloads_cycle() {
+        let p = build_program(&spec(vec![
+            Segment::IntBurst { insts: 48, ilp: 2 },
+            Segment::FpBurst { insts: 24, ilp: 2 },
+            Segment::MemScan {
+                loads: 8,
+                stride: 64,
+                region_bytes: 512,
+            },
+        ]));
+        let mut m = Machine::new(p);
+        assert_eq!(m.run(50_000), 50_000, "program must loop forever");
+    }
+
+    #[test]
+    #[should_panic(expected = "ilp must be in")]
+    fn bad_ilp_rejected() {
+        let _ = build_program(&spec(vec![Segment::IntBurst { insts: 48, ilp: 0 }]));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_region_rejected() {
+        let _ = build_program(&spec(vec![Segment::MemScan {
+            loads: 8,
+            stride: 64,
+            region_bytes: 1000,
+        }]));
+    }
+
+    #[test]
+    fn program_fits_in_the_l1_icache() {
+        // Keep generated code well under the 64 KB L1I so fetch behaviour
+        // is dominated by workload structure, not generator bloat.
+        let p = build_program(&spec(vec![
+            Segment::IntBurst {
+                insts: 5000,
+                ilp: 8,
+            },
+            Segment::Mixed {
+                iters: 1000,
+                ilp: 4,
+                region_bytes: 1 << 20,
+                toggle_branch: true,
+            },
+        ]));
+        assert!(p.len() * 4 < 64 << 10, "{} insts too many", p.len());
+    }
+}

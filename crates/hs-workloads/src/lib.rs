@@ -1,0 +1,49 @@
+//! # hs-workloads — SPEC2K-like programs and the heat-stroke attackers
+//!
+//! The paper evaluates heat stroke by co-scheduling each SPEC2K benchmark
+//! with a malicious thread. SPEC2K binaries are proprietary and target the
+//! Alpha ISA, so this crate substitutes a **synthetic suite**: sixteen named
+//! workloads, each a real program for the `hs-isa` instruction set whose
+//! loop structure is parameterized to land on the benchmark's observable
+//! characteristics — IPC, integer-register-file access rate, memory
+//! behaviour, and branch predictability. The attack/defense dynamics of the
+//! paper depend only on those observables (Figure 3 plots exactly the
+//! access rates), not on SPEC semantics.
+//!
+//! A few members are deliberately given *inherent power-density problems*
+//! (sustained register-file rates near the thermal thresholds), mirroring
+//! the paper's observation that some benchmarks (crafty and friends) cause
+//! occasional emergencies even when running alone.
+//!
+//! The three malicious variants of §4–5 are provided by [`malicious`]:
+//!
+//! * **variant1** (Figure 1): an unrolled loop of independent `addl`s —
+//!   maximum register-file access rate *and* high IPC (it also monopolizes
+//!   ICOUNT fetch bandwidth).
+//! * **variant2** (Figure 2): alternates a long `addl` burst with a phase
+//!   of loads that all map to one set of the 8-way L2 and therefore miss to
+//!   memory — same hot-spot behaviour, but tuned-down average IPC so the
+//!   degradation it causes is attributable to power density alone.
+//! * **variant3**: a variation of variant2 with a much lower duty cycle,
+//!   chosen to evade detection; its low rate also limits the damage it can
+//!   do.
+//!
+//! ```
+//! use hs_workloads::{SpecWorkload, Workload};
+//!
+//! let program = Workload::Spec(SpecWorkload::Gzip).program(1.0);
+//! assert!(!program.is_empty());
+//! let attack = Workload::Variant2.program(25.0); // time-scaled phases
+//! assert!(!attack.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod malicious;
+pub mod spec;
+
+pub use generator::{build_program, Segment, WorkloadSpec};
+pub use malicious::{variant1, variant2, variant3, MaliciousParams};
+pub use spec::{SpecWorkload, Workload, SPEC_SUITE};

@@ -1,0 +1,204 @@
+//! The heat-stroke attackers (Figures 1 and 2 of the paper).
+
+use crate::generator::{build_program, Segment, WorkloadSpec};
+use hs_isa::Program;
+use hs_mem::MemConfig;
+
+/// Nominal clock frequency used to convert the paper's wall-clock phase
+/// lengths into cycles (Table 1: 4 GHz).
+const FREQ_HZ: f64 = 4.0e9;
+
+/// Sustained ALU IPC of the burst phase on the default pipeline
+/// (measured; used only to size instruction counts from cycle targets).
+const BURST_IPC: f64 = 4.3;
+
+/// Cycles one nine-load L2-conflict round costs (9 serialized memory
+/// misses under the squash-on-L2-miss policy).
+const CYCLES_PER_CONFLICT_ROUND: f64 = 9.0 * 315.0;
+
+/// Phase sizing for the Figure-2 style attackers.
+///
+/// `variant2` needs its register-file burst to *outlast* the hot-spot
+/// heating time (≈2–3 ms at 4 GHz) so the emergency is reached within one
+/// burst, and pads its average IPC down with twice as long an L2-miss
+/// phase. `variant3` uses bursts much shorter than the heating time and a
+/// long miss phase — a low average rate chosen to evade detection, which
+/// also limits the damage it can do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaliciousParams {
+    /// Instructions per register-file burst phase.
+    pub burst_insts: u32,
+    /// Nine-load conflict rounds per miss phase.
+    pub conflict_rounds: u32,
+}
+
+impl MaliciousParams {
+    /// Parameters for variant2 under a thermal time-scale factor (1.0 =
+    /// physical time constants).
+    #[must_use]
+    pub fn variant2(time_scale: f64) -> Self {
+        assert!(time_scale >= 1.0, "time scale must be ≥ 1");
+        // Burst ≈ 4 ms of execution, miss phase ≈ 1.2× burst in cycles:
+        // average register-file rate ≈ 12 · (1/2.2) ≈ 5.5 — still inside
+        // the band SPEC programs occupy (Figure 3 tops out near 6), with
+        // IPC tuned down to an unremarkable level by the miss phase.
+        let burst_cycles = 0.004 * FREQ_HZ / time_scale;
+        let miss_cycles = 1.2 * burst_cycles;
+        MaliciousParams {
+            burst_insts: (burst_cycles * BURST_IPC) as u32,
+            conflict_rounds: ((miss_cycles / CYCLES_PER_CONFLICT_ROUND) as u32).max(1),
+        }
+    }
+
+    /// Parameters for variant3 under a thermal time-scale factor.
+    #[must_use]
+    pub fn variant3(time_scale: f64) -> Self {
+        assert!(time_scale >= 1.0, "time scale must be ≥ 1");
+        // Burst ≈ 0.6 ms (well below the heating time), miss phase ≈ 7×
+        // burst: average regfile rate ≈ 12 · 1/8 = 1.5 accesses/cycle.
+        let burst_cycles = 0.0006 * FREQ_HZ / time_scale;
+        let miss_cycles = 7.0 * burst_cycles;
+        MaliciousParams {
+            burst_insts: (burst_cycles * BURST_IPC) as u32,
+            conflict_rounds: ((miss_cycles / CYCLES_PER_CONFLICT_ROUND) as u32).max(1),
+        }
+    }
+}
+
+/// Figure 1: a long sequence of independent `addl`s in an infinite loop.
+/// Maximum register-file access rate (≈10+ accesses/cycle) *and* maximum
+/// IPC — under ICOUNT this thread also monopolizes fetch bandwidth, which
+/// is why the paper introduces variant2 to isolate the power-density
+/// effect.
+#[must_use]
+pub fn variant1() -> Program {
+    build_program(&WorkloadSpec {
+        name: "variant1",
+        segments: vec![Segment::IntBurst {
+            insts: 4800,
+            ilp: 12,
+        }],
+    })
+}
+
+/// Figure 2 with the paper's memory hierarchy: a register-file burst phase
+/// followed by nine-way L2 set-conflict loads. `time_scale` must match the
+/// thermal model's time-scale factor so the burst outlasts the (scaled)
+/// heating time.
+#[must_use]
+pub fn variant2(mem: &MemConfig, time_scale: f64) -> Program {
+    let p = MaliciousParams::variant2(time_scale);
+    attacker_program("variant2", mem, p)
+}
+
+/// The evasive attacker: same structure as variant2 but with a duty cycle
+/// low enough (average regfile rate ≈1.5/cycle) to slip under rate-based
+/// detectors.
+#[must_use]
+pub fn variant3(mem: &MemConfig, time_scale: f64) -> Program {
+    let p = MaliciousParams::variant3(time_scale);
+    attacker_program("variant3", mem, p)
+}
+
+fn attacker_program(name: &'static str, mem: &MemConfig, p: MaliciousParams) -> Program {
+    build_program(&WorkloadSpec {
+        name,
+        segments: vec![
+            Segment::IntBurst {
+                insts: p.burst_insts,
+                ilp: 12,
+            },
+            Segment::L2Conflict {
+                rounds: p.conflict_rounds,
+                way_stride: mem.l2.way_stride(),
+            },
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_isa::Machine;
+
+    #[test]
+    fn variant1_is_alu_only() {
+        let p = variant1();
+        let mut loads = 0;
+        for (_, inst) in p.iter() {
+            assert!(!inst.is_store());
+            if inst.is_load() {
+                loads += 1;
+            }
+        }
+        assert_eq!(loads, 0, "Figure 1 has no memory instructions");
+        // Runs forever.
+        let mut m = Machine::new(p);
+        assert_eq!(m.run(5_000), 5_000);
+    }
+
+    #[test]
+    fn variant2_has_both_phases() {
+        let p = variant2(&MemConfig::default(), 25.0);
+        let has_load = p.iter().any(|(_, i)| i.is_load());
+        let alu_count = p
+            .iter()
+            .filter(|(_, i)| i.int_dest().is_some() && !i.is_load())
+            .count();
+        assert!(has_load, "needs the L2-conflict phase");
+        assert!(alu_count > 40, "needs the addl burst");
+    }
+
+    #[test]
+    fn variant2_burst_outlasts_scaled_heating_time() {
+        // Heating takes ≈2.5 ms / scale; the burst must take longer.
+        for scale in [1.0, 10.0, 25.0] {
+            let p = MaliciousParams::variant2(scale);
+            let burst_cycles = f64::from(p.burst_insts) / BURST_IPC;
+            let heating_cycles = 0.0025 * FREQ_HZ / scale;
+            assert!(
+                burst_cycles > heating_cycles,
+                "scale {scale}: burst {burst_cycles} vs heating {heating_cycles}"
+            );
+        }
+    }
+
+    #[test]
+    fn variant3_average_rate_is_much_lower_than_variant2() {
+        let v2 = MaliciousParams::variant2(25.0);
+        let v3 = MaliciousParams::variant3(25.0);
+        let avg_rate = |p: MaliciousParams| {
+            let burst_cycles = f64::from(p.burst_insts) / BURST_IPC;
+            let miss_cycles = f64::from(p.conflict_rounds) * CYCLES_PER_CONFLICT_ROUND;
+            // ≈3 regfile accesses per burst instruction.
+            3.0 * f64::from(p.burst_insts) / (burst_cycles + miss_cycles)
+        };
+        let r2 = avg_rate(v2);
+        let r3 = avg_rate(v3);
+        assert!(
+            (3.0..6.0).contains(&r2),
+            "variant2 average rate {r2} (paper: ≈4)"
+        );
+        assert!(
+            (1.0..2.5).contains(&r3),
+            "variant3 average rate {r3} (paper: ≈1.5)"
+        );
+    }
+
+    #[test]
+    fn attackers_fit_in_the_icache() {
+        for p in [
+            variant1(),
+            variant2(&MemConfig::default(), 1.0),
+            variant3(&MemConfig::default(), 1.0),
+        ] {
+            assert!(p.len() * 4 < 64 << 10, "{} insts", p.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale")]
+    fn sub_unit_time_scale_rejected() {
+        let _ = MaliciousParams::variant2(0.5);
+    }
+}

@@ -1,0 +1,82 @@
+//! Measures each workload's solo IPC and integer-regfile access rate on the
+//! real pipeline (Figure 3's x-axis data). Run with --nocapture to see the
+//! table.
+
+use hs_cpu::{Cpu, CpuConfig, FetchGate, Resource, ThreadId};
+use hs_mem::MemConfig;
+use hs_workloads::{SpecWorkload, Workload, SPEC_SUITE};
+
+fn measure(w: Workload, cycles: u64) -> (f64, f64) {
+    // Warm the caches first (an OS quantum rarely starts cold), then
+    // measure a steady-state window.
+    let warmup = 3_000_000;
+    let mut cpu = Cpu::new(CpuConfig::default(), MemConfig::default());
+    let t = cpu.attach_thread(w.program(25.0));
+    for _ in 0..warmup {
+        cpu.tick(FetchGate::open());
+    }
+    let committed_before = cpu.thread_stats(t).committed;
+    let _ = cpu.take_access_counts();
+    for _ in 0..cycles {
+        cpu.tick(FetchGate::open());
+    }
+    let ipc = (cpu.thread_stats(t).committed - committed_before) as f64 / cycles as f64;
+    let rate = cpu.access_counts().get(t, Resource::IntRegFile) as f64 / cycles as f64;
+    let _ = ThreadId(0);
+    (ipc, rate)
+}
+
+#[test]
+fn probe_rates() {
+    let cycles = 1_000_000;
+    println!("{:>10} {:>6} {:>8}", "workload", "ipc", "reg/cyc");
+    for s in SPEC_SUITE {
+        let (ipc, rate) = measure(Workload::Spec(s), cycles);
+        println!("{:>10} {:>6.2} {:>8.2}", s.name(), ipc, rate);
+    }
+    for w in [Workload::Variant1, Workload::Variant2, Workload::Variant3] {
+        let (ipc, rate) = measure(w, cycles);
+        println!("{:>10} {:>6.2} {:>8.2}", w.name(), ipc, rate);
+    }
+}
+
+#[test]
+fn spec_rates_are_in_the_papers_band() {
+    // Figure 3: SPEC programs stay below ~6 accesses/cycle; variant1 ≈ 10;
+    // variant2 ≈ 4 (average); variant3 ≈ 1.5.
+    let cycles = 1_000_000;
+    for s in SPEC_SUITE {
+        let (_, rate) = measure(Workload::Spec(s), cycles);
+        assert!(rate < 6.5, "{s}: regfile rate {rate:.2} too high");
+        assert!(rate > 0.2, "{s}: regfile rate {rate:.2} suspiciously low");
+    }
+    let (_, v1) = measure(Workload::Variant1, cycles);
+    assert!(v1 > 8.0, "variant1 rate {v1:.2} (paper: ≈10)");
+    let (_, v2) = measure(Workload::Variant2, 4_500_000);
+    assert!((3.0..6.5).contains(&v2), "variant2 avg rate {v2:.2} (paper: ≈4; phase-sampling windows bias this up)");
+    let (_, v3) = measure(Workload::Variant3, 4_500_000);
+    assert!((0.8..3.0).contains(&v3), "variant3 avg rate {v3:.2} (paper: ≈1.5)");
+}
+
+#[test]
+fn suite_spans_a_wide_ipc_range() {
+    let cycles = 1_000_000;
+    let ipcs: Vec<f64> = SPEC_SUITE
+        .iter()
+        .map(|&s| measure(Workload::Spec(s), cycles).0)
+        .collect();
+    let min = ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ipcs.iter().cloned().fold(0.0, f64::max);
+    assert!(min < 0.7, "most memory-bound member IPC {min:.2}");
+    assert!(max > 1.8, "highest-ILP member IPC {max:.2}");
+}
+
+#[test]
+fn hot_members_have_higher_rates_than_cold_ones() {
+    let cycles = 1_000_000;
+    let rate = |s: SpecWorkload| measure(Workload::Spec(s), cycles).1;
+    assert!(rate(SpecWorkload::Art) > 4.0);
+    assert!(rate(SpecWorkload::Crafty) > 3.5);
+    assert!(rate(SpecWorkload::Mcf) < 1.5);
+    assert!(rate(SpecWorkload::Art) > rate(SpecWorkload::Swim));
+}

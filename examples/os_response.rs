@@ -1,0 +1,69 @@
+//! The full defense loop: hardware selective sedation identifies and
+//! reports the attacker; the OS scheduler suspends repeat offenders; the
+//! innocent threads get the machine back.
+//!
+//! ```sh
+//! cargo run --release --example os_response
+//! ```
+
+use heatstroke::sim::{OsScheduler, SchedulerConfig};
+use heatstroke::prelude::*;
+
+fn run(policy: PolicyKind, respond: bool) -> heatstroke::sim::ScheduleOutcome {
+    let mut cfg = SimConfig::scaled(400.0);
+    cfg.warmup_cycles = 400_000;
+    let mut os = OsScheduler::new(
+        cfg,
+        policy,
+        HeatSink::Realistic,
+        SchedulerConfig {
+            quanta: 8,
+            offense_threshold: 8,
+            respond_to_reports: respond,
+        },
+    );
+    os.add_thread(Workload::Spec(SpecWorkload::Gcc));
+    os.add_thread(Workload::Spec(SpecWorkload::Eon));
+    os.add_thread(Workload::Variant2);
+    os.run()
+}
+
+fn show(label: &str, out: &heatstroke::sim::ScheduleOutcome) {
+    println!("{label}:");
+    for t in &out.threads {
+        println!(
+            "  {:>9}: {:>12} insts over {} quanta, {:>3} offenses{}",
+            t.name,
+            t.committed,
+            t.quanta_run,
+            t.offenses,
+            if t.suspended { "  [SUSPENDED]" } else { "" }
+        );
+    }
+    println!(
+        "  emergencies across the schedule: {}, victim throughput: {} insts\n",
+        out.emergencies,
+        victims(out)
+    );
+}
+
+/// Combined instructions of the two innocent threads (gcc + eon).
+fn victims(out: &heatstroke::sim::ScheduleOutcome) -> u64 {
+    out.thread(0).committed + out.thread(1).committed
+}
+
+fn main() {
+    println!("three software threads (gcc, eon, variant2) over 8 OS quanta on 2 contexts\n");
+
+    let baseline = run(PolicyKind::StopAndGo, true);
+    show("stop-and-go (no identification, so the OS cannot act)", &baseline);
+
+    let no_response = run(PolicyKind::SelectiveSedation, false);
+    show("selective sedation, OS ignores reports", &no_response);
+
+    let full = run(PolicyKind::SelectiveSedation, true);
+    show("selective sedation + OS suspends repeat offenders", &full);
+
+    let gain = 100.0 * (victims(&full) as f64 / victims(&baseline) as f64 - 1.0);
+    println!("victim (gcc+eon) throughput vs the undefended baseline: {gain:+.0}%");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: run one SPEC-like benchmark next to the heat-stroke
+//! attacker, with and without the paper's defense, and print the outcome.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use heatstroke::prelude::*;
+
+fn main() {
+    // A heavily time-scaled configuration so this example finishes in a
+    // few seconds. `SimConfig::experiment()` (25×) is the harness default;
+    // `SimConfig::paper()` is full fidelity.
+    let mut cfg = SimConfig::scaled(200.0);
+    cfg.warmup_cycles = 1_000_000;
+
+    let victim = Workload::Spec(SpecWorkload::Gcc);
+
+    println!("== heat stroke quickstart (time scale {}x) ==\n", cfg.time_scale);
+
+    // 1. The victim alone: the baseline.
+    let solo = RunSpec::solo(victim, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).run();
+    println!(
+        "solo             : IPC {:.2}, {} temperature emergencies",
+        solo.thread(0).ipc,
+        solo.emergencies
+    );
+
+    // 2. Under attack, defended only by stop-and-go: heat stroke.
+    let attacked = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::StopAndGo,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
+    println!(
+        "under attack     : IPC {:.2} ({:.0}% degradation), {} emergencies, {:.0}% of the quantum stalled",
+        attacked.thread(0).ipc,
+        100.0 * (1.0 - attacked.thread(0).ipc / solo.thread(0).ipc),
+        attacked.emergencies,
+        100.0 * attacked.thread(0).breakdown.stall_fraction()
+    );
+
+    // 3. Under attack with selective sedation: the defense.
+    let defended = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::SelectiveSedation,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
+    println!(
+        "with sedation    : IPC {:.2} ({:.0}% of solo restored), {} emergencies",
+        defended.thread(0).ipc,
+        100.0 * defended.thread(0).ipc / solo.thread(0).ipc,
+        defended.emergencies
+    );
+    println!(
+        "attacker         : sedated {} times, {:.0}% of the quantum",
+        defended.thread(1).sedations,
+        100.0 * defended.thread(1).breakdown.sedated_fraction()
+    );
+
+    // The OS report stream (paper §3.2.2: offenders are reported).
+    if let Some(first) = defended
+        .reports
+        .iter()
+        .find(|r| r.kind == ReportKind::Sedated)
+    {
+        println!("\nfirst OS report  : {first}");
+    }
+}

@@ -1,0 +1,76 @@
+//! The defense in action: run every SPEC-like benchmark against variant2
+//! under all three regimes and print a Figure-5-style table.
+//!
+//! ```sh
+//! cargo run --release --example selective_sedation
+//! ```
+//!
+//! (Uses a high time-scale and a subset of the suite so it finishes in
+//! about a minute; the full harness lives in `crates/hs-bench`.)
+
+use heatstroke::prelude::*;
+
+fn main() {
+    let mut cfg = SimConfig::scaled(200.0);
+    cfg.warmup_cycles = 1_500_000;
+
+    let members = [
+        SpecWorkload::Gcc,
+        SpecWorkload::Eon,
+        SpecWorkload::Mcf,
+        SpecWorkload::Mesa,
+        SpecWorkload::Twolf,
+    ];
+
+    println!(
+        "{:>8} | {:>6} | {:>13} | {:>13} | {:>10}",
+        "victim", "solo", "attacked(s&g)", "sedation", "restored"
+    );
+    println!("{}", "-".repeat(64));
+
+    let mut degradations = Vec::new();
+    let mut restorations = Vec::new();
+    for w in members {
+        let victim = Workload::Spec(w);
+        let solo =
+            RunSpec::solo(victim, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).run();
+        let attacked = RunSpec::pair(
+            victim,
+            Workload::Variant2,
+            PolicyKind::StopAndGo,
+            HeatSink::Realistic,
+            cfg,
+        )
+        .run();
+        let defended = RunSpec::pair(
+            victim,
+            Workload::Variant2,
+            PolicyKind::SelectiveSedation,
+            HeatSink::Realistic,
+            cfg,
+        )
+        .run();
+
+        let s = solo.thread(0).ipc;
+        let a = attacked.thread(0).ipc;
+        let d = defended.thread(0).ipc;
+        degradations.push(1.0 - a / s);
+        restorations.push(d / s);
+        println!(
+            "{:>8} | {:>6.2} | {:>10.2} ipc | {:>10.2} ipc | {:>9.0}%",
+            w.name(),
+            s,
+            a,
+            d,
+            100.0 * d / s
+        );
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("{}", "-".repeat(64));
+    println!(
+        "average heat-stroke degradation: {:.0}%  |  average restoration by selective sedation: {:.0}%",
+        100.0 * avg(degradations.as_slice()),
+        100.0 * avg(&restorations)
+    );
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerates every table and figure; outputs under results/.
+set -u
+cd "$(dirname "$0")"
+BIN=target/release
+for exp in table1 listings fig3 fig4 fig5 fig6 sweep_packaging sweep_thresholds spec_pairs rate_cap_fails sweep_monitor sweep_fetch_policy; do
+  echo "=== $exp ($(date +%H:%M:%S)) ==="
+  $BIN/$exp > results/$exp.txt 2>&1
+  echo "    done"
+done
+echo "ALL_EXPERIMENTS_DONE"

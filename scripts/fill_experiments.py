@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Folds results/*.txt into the placeholder sections of EXPERIMENTS.md."""
+import pathlib
+import re
+
+root = pathlib.Path(__file__).resolve().parent.parent
+exp = (root / "EXPERIMENTS.md").read_text()
+results = root / "results"
+
+
+def block(name: str, tail: int | None = None, head: int | None = None) -> str:
+    p = results / f"{name}.txt"
+    if not p.exists():
+        return f"*(results/{name}.txt not generated)*"
+    lines = p.read_text().splitlines()
+    if head:
+        lines = lines[:head]
+    if tail:
+        lines = lines[-tail:]
+    return "```text\n" + "\n".join(lines).rstrip() + "\n```"
+
+
+def replace(marker: str, content: str) -> None:
+    global exp
+    assert marker in exp, marker
+    exp = exp.replace(marker, content)
+
+
+# Figure 5: the mean row + the summary lines.
+fig5 = (results / "fig5.txt").read_text().splitlines() if (results / "fig5.txt").exists() else []
+tail = [l for l in fig5 if l.strip()][-12:]
+replace("<!-- FIG5_TABLE -->", "```text\n" + "\n".join(tail) + "\n```")
+
+fig6 = (results / "fig6.txt").read_text().splitlines() if (results / "fig6.txt").exists() else []
+avg = []
+grab = False
+for l in fig6:
+    if l.startswith("averages"):
+        grab = True
+    if grab:
+        avg.append(l)
+replace("<!-- FIG6_TABLE -->", "```text\n" + "\n".join(avg) + "\n```")
+
+replace("<!-- PACKAGING -->", block("sweep_packaging", tail=14))
+replace("<!-- THRESHOLDS -->", block("sweep_thresholds", tail=14))
+replace("<!-- PAIRS -->", block("spec_pairs", tail=16))
+replace("<!-- RATECAP -->", block("rate_cap_fails", tail=18))
+abl = block("sweep_monitor", tail=18) + "\n\n" + block("sweep_fetch_policy", tail=16)
+replace("<!-- ABLATIONS -->", abl)
+
+(root / "EXPERIMENTS.md").write_text(exp)
+print("EXPERIMENTS.md updated")

@@ -1,0 +1,80 @@
+//! # heatstroke — a reproduction of *Heat Stroke: Power-Density-Based
+//! Denial of Service in SMT* (HPCA 2005)
+//!
+//! A malicious thread on an SMT processor can hammer a shared
+//! microarchitectural resource — the integer register file — until it
+//! forms a thermal hot spot. Every deployed dynamic thermal management
+//! (DTM) mechanism then slows or stalls the *whole* pipeline to let the
+//! spot cool, so the attacker repeatedly freezes every co-scheduled thread:
+//! a denial of service the paper names **heat stroke**. The paper's
+//! defense, **selective sedation**, monitors per-thread access rates with
+//! cheap shift-based weighted averages, identifies the culprit when a
+//! temperature threshold just below the emergency trips, and gates only
+//! that thread's fetch.
+//!
+//! This crate is a facade over the full simulation stack, built from
+//! scratch:
+//!
+//! | crate | provides |
+//! |-------|----------|
+//! | [`isa`] | a small executable RISC instruction set |
+//! | [`mem`] | the shared L1/L1/L2/memory hierarchy (Table 1) |
+//! | [`cpu`] | a cycle-level 6-wide out-of-order SMT pipeline with ICOUNT fetch |
+//! | [`power`] | a Wattch-style per-access energy model |
+//! | [`thermal`] | a HotSpot-style lumped-RC thermal network |
+//! | [`core`] | DTM policies: stop-and-go and selective sedation |
+//! | [`workloads`] | a synthetic SPEC2K-like suite and the three attackers |
+//! | [`sim`] | the quantum simulator binding everything together |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use heatstroke::prelude::*;
+//!
+//! // Co-schedule an innocent benchmark with the Figure-2 attacker under
+//! // the paper's defense.
+//! let stats = RunSpec::pair(
+//!     Workload::Spec(SpecWorkload::Gcc),
+//!     Workload::Variant2,
+//!     PolicyKind::SelectiveSedation,
+//!     HeatSink::Realistic,
+//!     SimConfig::experiment(),
+//! )
+//! .run();
+//!
+//! println!("victim IPC {:.2}, attacker sedated {:.0}% of the quantum",
+//!     stats.thread(0).ipc,
+//!     100.0 * stats.thread(1).breakdown.sedated_fraction());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/hs-bench` for the
+//! binaries that regenerate every figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hs_core as core;
+pub use hs_cpu as cpu;
+pub use hs_isa as isa;
+pub use hs_mem as mem;
+pub use hs_power as power;
+pub use hs_sim as sim;
+pub use hs_thermal as thermal;
+pub use hs_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use hs_core::{
+        DtmThresholds, OsReport, ReportKind, SedationConfig, SelectiveSedation, StopAndGo,
+        ThermalPolicy,
+    };
+    pub use hs_cpu::{Cpu, CpuConfig, Resource, ThreadId};
+    pub use hs_mem::MemConfig;
+    pub use hs_power::{EnergyTable, PowerModel};
+    pub use hs_sim::{
+        HeatSink, OsScheduler, PolicyKind, RunSpec, SchedulerConfig, SimConfig, SimStats,
+        Simulator,
+    };
+    pub use hs_thermal::{Block, PowerVector, ThermalConfig, ThermalNetwork};
+    pub use hs_workloads::{SpecWorkload, Workload, SPEC_SUITE};
+}

@@ -1,0 +1,188 @@
+//! End-to-end integration tests: the paper's headline claims, verified at
+//! high time-scale so they run in seconds.
+
+use heatstroke::prelude::*;
+
+fn fast() -> SimConfig {
+    let mut c = SimConfig::scaled(400.0);
+    c.warmup_cycles = 400_000;
+    c
+}
+
+fn solo_ipc(w: Workload, cfg: SimConfig) -> f64 {
+    RunSpec::solo(w, PolicyKind::StopAndGo, HeatSink::Realistic, cfg)
+        .run()
+        .thread(0)
+        .ipc
+}
+
+#[test]
+fn heat_stroke_degrades_the_victim_severely() {
+    let cfg = fast();
+    let victim = Workload::Spec(SpecWorkload::Eon);
+    let base = solo_ipc(victim, cfg);
+    let attacked = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::StopAndGo,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
+    assert!(attacked.emergencies >= 4, "emergencies: {}", attacked.emergencies);
+    let ipc = attacked.thread(0).ipc;
+    assert!(
+        ipc < 0.75 * base,
+        "victim should be severely degraded: {ipc:.2} vs {base:.2}"
+    );
+    assert!(attacked.thread(0).breakdown.stall_fraction() > 0.15);
+}
+
+#[test]
+fn selective_sedation_restores_the_victim() {
+    let cfg = fast();
+    let victim = Workload::Spec(SpecWorkload::Eon);
+    let base = solo_ipc(victim, cfg);
+    let defended = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::SelectiveSedation,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
+    let ipc = defended.thread(0).ipc;
+    assert!(
+        ipc > 0.8 * base,
+        "sedation should restore the victim: {ipc:.2} vs {base:.2}"
+    );
+    assert_eq!(defended.emergencies, 0, "sedation acts below the emergency");
+    // The attacker, not the victim, pays.
+    assert!(defended.thread(1).sedations > 0);
+    assert!(
+        defended.thread(1).breakdown.sedated_fraction()
+            > defended.thread(0).breakdown.sedated_fraction()
+    );
+}
+
+#[test]
+fn ideal_sink_isolates_icount_effects() {
+    // With infinite heat removal, co-running variant2 costs the victim only
+    // ordinary SMT sharing — no DTM ever engages (Figure 5, bars 1/6).
+    let cfg = fast();
+    let victim = Workload::Spec(SpecWorkload::Gcc);
+    let stats = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::StopAndGo,
+        HeatSink::Ideal,
+        cfg,
+    )
+    .run();
+    assert_eq!(stats.emergencies, 0);
+    for t in &stats.threads {
+        assert_eq!(t.breakdown.global_stall_cycles, 0);
+        assert_eq!(t.breakdown.sedated_cycles, 0);
+    }
+    let base = RunSpec::solo(victim, PolicyKind::None, HeatSink::Ideal, cfg)
+        .run()
+        .thread(0)
+        .ipc;
+    assert!(
+        stats.thread(0).ipc > 0.6 * base,
+        "ICOUNT sharing alone must not be the DOS: {:.2} vs {base:.2}",
+        stats.thread(0).ipc
+    );
+}
+
+#[test]
+fn variant3_is_weaker_than_variant2() {
+    let cfg = fast();
+    let victim = Workload::Spec(SpecWorkload::Eon);
+    let v2 = RunSpec::pair(victim, Workload::Variant2, PolicyKind::StopAndGo, HeatSink::Realistic, cfg)
+        .run()
+        .thread(0)
+        .ipc;
+    let v3 = RunSpec::pair(victim, Workload::Variant3, PolicyKind::StopAndGo, HeatSink::Realistic, cfg)
+        .run()
+        .thread(0)
+        .ipc;
+    assert!(
+        v3 > v2,
+        "the evasive low-rate attacker must hurt less: v2 {v2:.2} vs v3 {v3:.2}"
+    );
+}
+
+#[test]
+fn spec_pair_unaffected_by_enabling_sedation() {
+    let cfg = fast();
+    let (a, b) = (Workload::Spec(SpecWorkload::Gcc), Workload::Spec(SpecWorkload::Mesa));
+    let off = RunSpec::pair(a, b, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).run();
+    let on = RunSpec::pair(a, b, PolicyKind::SelectiveSedation, HeatSink::Realistic, cfg).run();
+    let t_off = off.thread(0).ipc + off.thread(1).ipc;
+    let t_on = on.thread(0).ipc + on.thread(1).ipc;
+    assert!(
+        (t_on - t_off).abs() / t_off < 0.1,
+        "sedation must not tax innocent pairs: {t_off:.2} -> {t_on:.2}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cfg = fast();
+    let spec = RunSpec::pair(
+        Workload::Spec(SpecWorkload::Gcc),
+        Workload::Variant2,
+        PolicyKind::SelectiveSedation,
+        HeatSink::Realistic,
+        cfg,
+    );
+    let a = spec.run();
+    let b = spec.run();
+    assert_eq!(a.thread(0).committed, b.thread(0).committed);
+    assert_eq!(a.thread(1).committed, b.thread(1).committed);
+    assert_eq!(a.emergencies, b.emergencies);
+    assert_eq!(a.thread(1).sedations, b.thread(1).sedations);
+}
+
+#[test]
+fn os_reports_identify_the_attacker() {
+    let cfg = fast();
+    let stats = RunSpec::pair(
+        Workload::Spec(SpecWorkload::Gcc),
+        Workload::Variant2,
+        PolicyKind::SelectiveSedation,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
+    let sedated: Vec<_> = stats
+        .reports
+        .iter()
+        .filter(|r| r.kind == ReportKind::Sedated)
+        .collect();
+    assert!(!sedated.is_empty());
+    // Every sedation report names the attacker thread and the register file.
+    for r in &sedated {
+        assert_eq!(r.thread, Some(ThreadId(1)), "report blamed the wrong thread: {r}");
+        assert_eq!(r.block, Block::IntReg);
+        assert!(r.weighted_avg.unwrap_or(0.0) > 0.0);
+    }
+}
+
+#[test]
+fn attack_works_against_every_policyless_baseline() {
+    // Sanity: with DTM disabled and a realistic sink, the attack drives the
+    // register file past the emergency and nothing stops it.
+    let cfg = fast();
+    let stats = RunSpec::pair(
+        Workload::Spec(SpecWorkload::Gcc),
+        Workload::Variant2,
+        PolicyKind::None,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
+    assert!(stats.emergencies > 0);
+    assert!(stats.peak_temp() > 358.5);
+}

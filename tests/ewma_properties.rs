@@ -1,0 +1,71 @@
+//! Property-based tests on the shift-based weighted average (the paper's
+//! §3.2.1 hardware monitor).
+
+use heatstroke::core::Ewma;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn stays_within_the_input_hull(samples in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        // The average of nonnegative samples can never exceed the running
+        // maximum nor drop below zero.
+        let mut e = Ewma::new(7);
+        let mut max = 0u64;
+        for &s in &samples {
+            max = max.max(s);
+            e.update(s);
+            prop_assert!(e.value() >= 0.0);
+            prop_assert!(e.value() <= max as f64 + 1e-9, "avg {} above max {max}", e.value());
+        }
+    }
+
+    #[test]
+    fn tracks_the_floating_point_reference(
+        samples in prop::collection::vec(0u64..100_000, 1..400),
+        shift in 1u32..12,
+    ) {
+        let mut e = Ewma::new(shift);
+        let x = 1.0 / f64::from(1u32 << shift);
+        let mut reference = 0.0f64;
+        for &s in &samples {
+            e.update(s);
+            reference = (1.0 - x) * reference + x * s as f64;
+        }
+        // Truncation error is bounded by ~1 unit per step of memory.
+        let tolerance = f64::from(1u32 << shift).max(4.0);
+        prop_assert!(
+            (e.value() - reference).abs() <= tolerance,
+            "fixed {} vs float {reference}",
+            e.value()
+        );
+    }
+
+    #[test]
+    fn higher_sustained_rate_gives_higher_average(
+        low in 0u64..5_000,
+        gap in 1_000u64..50_000,
+        n in 200usize..800,
+    ) {
+        let high = low + gap;
+        let mut a = Ewma::new(7);
+        let mut b = Ewma::new(7);
+        for _ in 0..n {
+            a.update(low);
+            b.update(high);
+        }
+        prop_assert!(b.value() > a.value());
+    }
+
+    #[test]
+    fn order_of_magnitude_memory(shift in 3u32..10) {
+        // After 4 × 2^shift constant samples, the average is ≥ 90% of the
+        // input (the window really is ~2^shift samples).
+        let mut e = Ewma::new(shift);
+        for _ in 0..(4u64 << shift) {
+            e.update(1000);
+        }
+        prop_assert!(e.value() > 900.0, "{} after 4 windows", e.value());
+    }
+}

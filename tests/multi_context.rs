@@ -1,0 +1,147 @@
+//! Beyond the paper's 2-context evaluation: 4-context SMT runs, multiple
+//! simultaneous attackers (exercising the 2x-cooling-time re-examination
+//! path end to end), and the DVS-like baseline.
+
+use heatstroke::prelude::*;
+
+fn fast4() -> SimConfig {
+    let mut c = SimConfig::scaled(400.0);
+    c.warmup_cycles = 400_000;
+    c.cpu.contexts = 4;
+    c
+}
+
+fn fast2() -> SimConfig {
+    let mut c = SimConfig::scaled(400.0);
+    c.warmup_cycles = 400_000;
+    c
+}
+
+#[test]
+fn four_context_smt_runs() {
+    let stats = RunSpec {
+        workloads: vec![
+            Workload::Spec(SpecWorkload::Gcc),
+            Workload::Spec(SpecWorkload::Eon),
+            Workload::Spec(SpecWorkload::Mesa),
+            Workload::Spec(SpecWorkload::Twolf),
+        ],
+        policy: PolicyKind::StopAndGo,
+        sink: HeatSink::Realistic,
+        config: fast4(),
+    }
+    .run();
+    assert_eq!(stats.threads.len(), 4);
+    for t in &stats.threads {
+        assert!(t.ipc > 0.05, "{} starved: {}", t.name, t.ipc);
+    }
+}
+
+#[test]
+fn two_attackers_both_get_sedated() {
+    // With two malicious threads, sedating the first is not enough; the
+    // re-examination after 2x the cooling time must catch the second.
+    let stats = RunSpec {
+        workloads: vec![
+            Workload::Spec(SpecWorkload::Gcc),
+            Workload::Spec(SpecWorkload::Mesa),
+            Workload::Variant2,
+            Workload::Variant1,
+        ],
+        policy: PolicyKind::SelectiveSedation,
+        sink: HeatSink::Realistic,
+        config: fast4(),
+    }
+    .run();
+    let gcc = stats.thread(0);
+    let mesa = stats.thread(1);
+    let v2 = stats.thread(2);
+    let v1 = stats.thread(3);
+    assert!(
+        v1.sedations > 0 && v2.sedations > 0,
+        "both attackers must be sedated (v1 {}, v2 {})",
+        v1.sedations,
+        v2.sedations
+    );
+    let attacker_sedated = v1.breakdown.sedated_fraction() + v2.breakdown.sedated_fraction();
+    let victim_sedated = gcc.breakdown.sedated_fraction() + mesa.breakdown.sedated_fraction();
+    assert!(
+        attacker_sedated > 5.0 * victim_sedated.max(0.01),
+        "sedation must fall on the attackers ({attacker_sedated:.2} vs {victim_sedated:.2})"
+    );
+}
+
+#[test]
+fn dvfs_baseline_also_suffers_heat_stroke() {
+    // The DVS-like global throttle is still a global mechanism: the attack
+    // must degrade the victim under it too (the paper's argument for why
+    // *selective* mechanisms are needed).
+    let cfg = fast2();
+    let victim = Workload::Spec(SpecWorkload::Eon);
+    let base = RunSpec::solo(victim, PolicyKind::GlobalDvfs, HeatSink::Realistic, cfg)
+        .run()
+        .thread(0)
+        .ipc;
+    let attacked = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::GlobalDvfs,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
+    assert!(attacked.emergencies > 0);
+    assert!(
+        attacked.thread(0).ipc < 0.8 * base,
+        "DVS-like throttling should not protect the victim: {:.2} vs {base:.2}",
+        attacked.thread(0).ipc
+    );
+}
+
+#[test]
+fn dvfs_and_stop_and_go_are_comparable() {
+    // §4 of the paper: "stop-and-go performs comparably to other schemes".
+    let cfg = fast2();
+    let victim = Workload::Spec(SpecWorkload::Gcc);
+    let sg = RunSpec::pair(victim, Workload::Variant2, PolicyKind::StopAndGo, HeatSink::Realistic, cfg)
+        .run()
+        .thread(0)
+        .ipc;
+    let dvfs = RunSpec::pair(victim, Workload::Variant2, PolicyKind::GlobalDvfs, HeatSink::Realistic, cfg)
+        .run()
+        .thread(0)
+        .ipc;
+    let ratio = dvfs / sg;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "global baselines should be in the same ballpark: s&g {sg:.2}, dvfs {dvfs:.2}"
+    );
+}
+
+#[test]
+fn three_victims_one_attacker_all_recover_under_sedation() {
+    let cfg = fast4();
+    let spec = RunSpec {
+        workloads: vec![
+            Workload::Spec(SpecWorkload::Gcc),
+            Workload::Spec(SpecWorkload::Eon),
+            Workload::Spec(SpecWorkload::Twolf),
+            Workload::Variant2,
+        ],
+        policy: PolicyKind::SelectiveSedation,
+        sink: HeatSink::Realistic,
+        config: cfg,
+    };
+    let stats = spec.run();
+    let attacker = stats.thread(3);
+    assert!(attacker.sedations > 0, "attacker must be identified");
+    for i in 0..3 {
+        let v = stats.thread(i);
+        assert!(
+            v.breakdown.sedated_fraction() < 0.1,
+            "victim {} over-sedated: {:.2}",
+            v.name,
+            v.breakdown.sedated_fraction()
+        );
+    }
+}

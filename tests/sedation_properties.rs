@@ -1,0 +1,155 @@
+//! Property-based tests on the selective-sedation state machine, driven
+//! with synthetic temperature/access traces.
+
+use heatstroke::core::{
+    BlockCounts, DtmInput, SedationConfig, SelectiveSedation, ThermalPolicy,
+};
+use heatstroke::cpu::ThreadId;
+use heatstroke::thermal::{Block, NUM_BLOCKS};
+use proptest::prelude::*;
+
+fn cfg() -> SedationConfig {
+    SedationConfig {
+        cooling_time_cycles: 5_000,
+        ..SedationConfig::default()
+    }
+}
+
+/// One synthetic sample: a register-file temperature and per-thread rates.
+#[derive(Debug, Clone)]
+struct Sample {
+    temp: f64,
+    rates: Vec<u64>,
+}
+
+fn trace_strategy(nthreads: usize) -> impl Strategy<Value = Vec<Sample>> {
+    prop::collection::vec(
+        (345.0f64..359.5, prop::collection::vec(0u64..12_000, nthreads)),
+        10..160,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(temp, rates)| Sample { temp, rates })
+            .collect()
+    })
+}
+
+fn drive(policy: &mut SelectiveSedation, samples: &[Sample], nthreads: usize) {
+    let mut stalled = false;
+    for (i, s) in samples.iter().enumerate() {
+        let mut temps = [346.0; NUM_BLOCKS];
+        temps[Block::IntReg.index()] = s.temp;
+        let mut counts = BlockCounts::new();
+        if !stalled {
+            for t in 0..nthreads {
+                counts.add(t, Block::IntReg, s.rates[t]);
+            }
+        }
+        let d = policy.on_sample(&DtmInput {
+            cycle: (i as u64 + 1) * 1000,
+            block_temps: &temps,
+            counts: &counts,
+            global_stalled: stalled,
+        });
+        let was_stalled = stalled;
+        stalled = d.global_stall;
+
+        // INVARIANT: never all threads sedated — the last unsedated thread
+        // is exempt by construction.
+        let sedated = (0..nthreads)
+            .filter(|&t| policy.is_sedated(ThreadId(t as u8)))
+            .count();
+        assert!(
+            sedated < nthreads,
+            "all {nthreads} threads sedated at sample {i}"
+        );
+
+        // INVARIANT: a global stall only *starts* at an emergency sample.
+        if stalled && !was_stalled {
+            assert!(s.temp >= 358.5, "stall started at {:.1} K", s.temp);
+        }
+
+        // INVARIANT: the gate reflects the sedation state exactly.
+        for t in 0..nthreads {
+            assert_eq!(
+                d.gate.is_gated(ThreadId(t as u8)),
+                policy.is_sedated(ThreadId(t as u8))
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_for_two_threads(samples in trace_strategy(2)) {
+        let mut p = SelectiveSedation::new(cfg(), 2);
+        drive(&mut p, &samples, 2);
+    }
+
+    #[test]
+    fn invariants_hold_for_four_threads(samples in trace_strategy(4)) {
+        let mut p = SelectiveSedation::new(cfg(), 4);
+        drive(&mut p, &samples, 4);
+    }
+
+    #[test]
+    fn cool_traces_never_sedate(
+        rates in prop::collection::vec(prop::collection::vec(0u64..12_000, 2), 10..100)
+    ) {
+        // Temperature pinned below the upper threshold: whatever the rates
+        // do, nobody is ever sedated (temperature-gated detection).
+        let mut p = SelectiveSedation::new(cfg(), 2);
+        for (i, r) in rates.iter().enumerate() {
+            let mut temps = [350.0; NUM_BLOCKS];
+            temps[Block::IntReg.index()] = 355.9;
+            let mut counts = BlockCounts::new();
+            counts.add(0, Block::IntReg, r[0]);
+            counts.add(1, Block::IntReg, r[1]);
+            let d = p.on_sample(&DtmInput {
+                cycle: (i as u64 + 1) * 1000,
+                block_temps: &temps,
+                counts: &counts,
+                global_stalled: false,
+            });
+            prop_assert!(!d.gate.any_gated());
+            prop_assert!(!d.global_stall);
+        }
+        prop_assert_eq!(p.sedation_events(), 0);
+    }
+
+    #[test]
+    fn culprit_is_always_the_highest_average(
+        hot_rate in 6_000u64..12_000,
+        cold_rate in 0u64..4_000,
+        hot_thread in 0usize..2,
+    ) {
+        let mut p = SelectiveSedation::new(cfg(), 2);
+        let mut rates = [cold_rate, cold_rate];
+        rates[hot_thread] = hot_rate;
+        // Warm the monitors below threshold, then trip the upper threshold.
+        let mut samples: Vec<Sample> = (0..300)
+            .map(|_| Sample { temp: 352.0, rates: rates.to_vec() })
+            .collect();
+        samples.push(Sample { temp: 356.3, rates: rates.to_vec() });
+        drive(&mut p, &samples, 2);
+        prop_assert!(p.is_sedated(ThreadId(hot_thread as u8)));
+        prop_assert!(!p.is_sedated(ThreadId(1 - hot_thread as u8)));
+    }
+
+    #[test]
+    fn release_always_follows_cooling(seed_rate in 5_000u64..12_000) {
+        let mut p = SelectiveSedation::new(cfg(), 2);
+        let mut samples: Vec<Sample> = (0..300)
+            .map(|_| Sample { temp: 352.0, rates: vec![seed_rate, 1_000] })
+            .collect();
+        samples.push(Sample { temp: 356.2, rates: vec![seed_rate, 1_000] });
+        drive(&mut p, &samples, 2);
+        assert!(p.is_sedated(ThreadId(0)));
+        // Cool to the lower threshold: must release.
+        let cool = [Sample { temp: 354.8, rates: vec![0, 1_000] }];
+        drive(&mut p, &cool, 2);
+        prop_assert!(!p.is_sedated(ThreadId(0)));
+    }
+}

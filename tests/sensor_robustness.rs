@@ -1,0 +1,87 @@
+//! The defense must survive realistic (noisy, quantized) temperature
+//! sensors — the reason the paper's trigger sits below the true emergency.
+
+use heatstroke::prelude::*;
+use heatstroke::thermal::SensorConfig;
+
+fn fast(sensors: SensorConfig) -> SimConfig {
+    let mut c = SimConfig::scaled(400.0);
+    c.warmup_cycles = 400_000;
+    c.sensors = sensors;
+    c
+}
+
+#[test]
+fn sedation_still_works_with_realistic_sensors() {
+    let victim = Workload::Spec(SpecWorkload::Gcc);
+    let cfg = fast(SensorConfig::realistic());
+    let base = RunSpec::solo(victim, PolicyKind::StopAndGo, HeatSink::Realistic, cfg)
+        .run()
+        .thread(0)
+        .ipc;
+    let defended = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::SelectiveSedation,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
+    assert!(
+        defended.thread(0).ipc > 0.75 * base,
+        "noisy sensors must not break the defense: {:.2} vs {base:.2}",
+        defended.thread(0).ipc
+    );
+    assert!(defended.thread(1).sedations > 0);
+}
+
+#[test]
+fn optimistic_sensor_offset_reduces_the_safety_margin() {
+    // A sensor that under-reads by 3 K effectively raises every threshold
+    // past the default 2.5 K margin between the upper threshold and the
+    // emergency: the *true* temperature now reaches the emergency before
+    // the policy reacts — physical emergencies reappear.
+    let victim = Workload::Spec(SpecWorkload::Gcc);
+    let skewed = SensorConfig {
+        offset_k: -3.0,
+        ..SensorConfig::default()
+    };
+    let honest = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::SelectiveSedation,
+        HeatSink::Realistic,
+        fast(SensorConfig::default()),
+    )
+    .run();
+    let fooled = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::SelectiveSedation,
+        HeatSink::Realistic,
+        fast(skewed),
+    )
+    .run();
+    assert_eq!(honest.emergencies, 0);
+    assert!(
+        fooled.emergencies > 0,
+        "a 3 K under-reading sensor should let true emergencies through"
+    );
+}
+
+#[test]
+fn noise_does_not_create_false_sedations_in_quiet_pairs() {
+    let cfg = fast(SensorConfig::realistic());
+    let stats = RunSpec::pair(
+        Workload::Spec(SpecWorkload::Gcc),
+        Workload::Spec(SpecWorkload::Twolf),
+        PolicyKind::SelectiveSedation,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
+    // Two cool benchmarks: ±0.5 K of noise around ~353 K must not reach
+    // the 356 K trigger.
+    let total: u64 = stats.threads.iter().map(|t| t.sedations).sum();
+    assert_eq!(total, 0, "noise alone caused {total} sedations");
+}
