@@ -33,16 +33,31 @@ impl Default for DtmThresholds {
 impl DtmThresholds {
     /// Validates the ordering `normal ≤ lower ≤ upper < emergency`.
     ///
+    /// # Errors
+    ///
+    /// Returns an error if the ordering is violated.
+    pub fn try_validate(&self) -> Result<(), crate::ConfigError> {
+        let ordered = self.normal_k <= self.lower_k
+            && self.lower_k <= self.upper_k
+            && self.upper_k < self.emergency_k;
+        if !ordered {
+            return Err(crate::ConfigError::new(
+                "thresholds",
+                format!("thresholds must satisfy normal ≤ lower ≤ upper < emergency, got {self:?}"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates the ordering `normal ≤ lower ≤ upper < emergency`.
+    ///
     /// # Panics
     ///
     /// Panics if the ordering is violated.
     pub fn validate(&self) {
-        assert!(
-            self.normal_k <= self.lower_k
-                && self.lower_k <= self.upper_k
-                && self.upper_k < self.emergency_k,
-            "thresholds must satisfy normal ≤ lower ≤ upper < emergency, got {self:?}"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -77,18 +92,43 @@ impl Default for SedationConfig {
 impl SedationConfig {
     /// Validates all parameters.
     ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid thresholds, a zero sampling period, a
+    /// zero cooling time, or an EWMA shift of 0 or ≥ 32.
+    pub fn try_validate(&self) -> Result<(), crate::ConfigError> {
+        self.thresholds.try_validate()?;
+        if self.sample_period_cycles == 0 {
+            return Err(crate::ConfigError::new(
+                "sample_period_cycles",
+                "sample period must be nonzero",
+            ));
+        }
+        if self.cooling_time_cycles == 0 {
+            return Err(crate::ConfigError::new(
+                "cooling_time_cycles",
+                "cooling time must be nonzero",
+            ));
+        }
+        if !(1..32).contains(&self.ewma_shift) {
+            return Err(crate::ConfigError::new(
+                "ewma_shift",
+                "ewma shift must be in 1..32",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates all parameters.
+    ///
     /// # Panics
     ///
     /// Panics on invalid thresholds, a zero sampling period, a zero cooling
     /// time, or an EWMA shift of 0 or ≥ 32.
     pub fn validate(&self) {
-        self.thresholds.validate();
-        assert!(self.sample_period_cycles > 0, "sample period must be nonzero");
-        assert!(self.cooling_time_cycles > 0, "cooling time must be nonzero");
-        assert!(
-            (1..32).contains(&self.ewma_shift),
-            "ewma shift must be in 1..32"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 
     /// Returns a copy with every time constant divided by `factor`, for use

@@ -37,6 +37,17 @@ impl BlockCounts {
         self.counts[thread][block.index()]
     }
 
+    /// Overwrites the count for one thread and block. Used by the
+    /// counter-fault injector, which models a broken counter by replacing
+    /// what the hardware would have reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread >= MAX_THREADS`.
+    pub fn set(&mut self, thread: usize, block: Block, n: u64) {
+        self.counts[thread][block.index()] = n;
+    }
+
     /// Resets all counts.
     pub fn clear(&mut self) {
         self.counts = [[0; NUM_BLOCKS]; MAX_THREADS];

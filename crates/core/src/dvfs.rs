@@ -123,6 +123,8 @@ mod tests {
         temps[Block::IntReg.index()] = temp;
         let counts = BlockCounts::new();
         p.on_sample(&DtmInput {
+            sensor_valid: &crate::policy::ALL_SENSORS_VALID,
+            sensor_fresh: true,
             cycle,
             block_temps: &temps,
             counts: &counts,

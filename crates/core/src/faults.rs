@@ -1,0 +1,320 @@
+//! Deterministic fault injection for the **counter path**.
+//!
+//! The access-rate monitors of §3.2.1 trust two hardware inputs: the
+//! temperature sensors (faults for those live in `hs_thermal::faults`) and
+//! the per-thread per-resource access counters. This module corrupts the
+//! latter: a [`CounterFaultPlan`] rewrites the [`BlockCounts`] sample a
+//! policy is about to see, modelling saturated, stuck, resetting, or
+//! undercounting hardware counters.
+//!
+//! Faults are *stateless* functions of the cycle number, so the same plan
+//! applied to the same run is bit-reproducible and the plan itself stays
+//! `Copy` (it rides inside the simulator configuration).
+
+use crate::counts::BlockCounts;
+use hs_cpu::MAX_THREADS;
+use hs_thermal::{Block, ALL_BLOCKS};
+
+/// Maximum number of concurrently scheduled counter faults in one plan.
+pub const MAX_COUNTER_FAULTS: usize = 8;
+
+/// How a faulty access counter misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CounterFaultKind {
+    /// The counter pegs at `ceiling` — an overflow latch that never comes
+    /// back down within a sample. Reported counts are `min(true, ceiling)`
+    /// — unless `ceiling` is absurd (`u64::MAX`), which models a stuck-high
+    /// saturation bus fault reporting the maximum representable count.
+    SaturateAt {
+        /// The value the counter saturates to (or at).
+        ceiling: u64,
+    },
+    /// The counter never increments: every sample reads zero, hiding the
+    /// thread's activity from the monitors entirely.
+    StuckZero,
+    /// The counter spuriously resets every `samples` sampling periods,
+    /// zeroing that sample's contribution.
+    ResetEvery {
+        /// Reset period, in sampling periods (must be nonzero to fire).
+        samples: u64,
+    },
+    /// The counter misses increments: reported counts are right-shifted by
+    /// `shift` (an undercount by `2^shift`×).
+    Undercount {
+        /// Right shift applied to the true count.
+        shift: u32,
+    },
+}
+
+impl CounterFaultKind {
+    /// Short stable label for tables and logs.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            CounterFaultKind::SaturateAt { .. } => "saturate",
+            CounterFaultKind::StuckZero => "stuck-zero",
+            CounterFaultKind::ResetEvery { .. } => "reset",
+            CounterFaultKind::Undercount { .. } => "undercount",
+        }
+    }
+
+    fn apply(&self, sample_index: u64, true_count: u64) -> u64 {
+        match *self {
+            CounterFaultKind::SaturateAt { ceiling } => {
+                if ceiling == u64::MAX {
+                    u64::MAX
+                } else {
+                    true_count.min(ceiling)
+                }
+            }
+            CounterFaultKind::StuckZero => 0,
+            CounterFaultKind::ResetEvery { samples } => {
+                if samples != 0 && sample_index.is_multiple_of(samples) {
+                    0
+                } else {
+                    true_count
+                }
+            }
+            CounterFaultKind::Undercount { shift } => true_count >> shift.min(63),
+        }
+    }
+}
+
+/// One scheduled counter fault: a kind, the (thread, block) cell it hits,
+/// and the half-open cycle window `[from_cycle, until_cycle)` it is active
+/// in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterFault {
+    /// The hardware context whose counters are broken.
+    pub thread: usize,
+    /// The affected block, or `None` for every block of that thread (a
+    /// fault in the shared sampling bus rather than one counter cell).
+    pub block: Option<Block>,
+    /// The misbehaviour.
+    pub kind: CounterFaultKind,
+    /// First cycle (inclusive) the fault is active.
+    pub from_cycle: u64,
+    /// First cycle the fault is no longer active (`u64::MAX` = permanent).
+    pub until_cycle: u64,
+}
+
+impl CounterFault {
+    /// A fault active for the whole run.
+    #[must_use]
+    pub fn permanent(thread: usize, block: Option<Block>, kind: CounterFaultKind) -> Self {
+        CounterFault {
+            thread,
+            block,
+            kind,
+            from_cycle: 0,
+            until_cycle: u64::MAX,
+        }
+    }
+
+    /// Whether the fault is active at `cycle`.
+    #[must_use]
+    pub fn active(&self, cycle: u64) -> bool {
+        cycle >= self.from_cycle && cycle < self.until_cycle
+    }
+}
+
+/// A fixed-capacity, `Copy` schedule of counter faults.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CounterFaultPlan {
+    entries: [Option<CounterFault>; MAX_COUNTER_FAULTS],
+}
+
+impl CounterFaultPlan {
+    /// The empty plan: counters behave.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Returns the plan with `fault` appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan already holds [`MAX_COUNTER_FAULTS`] faults or the
+    /// fault names a thread outside `0..MAX_THREADS`.
+    #[must_use]
+    pub fn with(mut self, fault: CounterFault) -> Self {
+        assert!(fault.thread < MAX_THREADS, "thread out of range");
+        let slot = self
+            .entries
+            .iter_mut()
+            .find(|e| e.is_none())
+            .expect("counter fault plan full");
+        *slot = Some(fault);
+        self
+    }
+
+    /// Whether the plan schedules no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(Option::is_none)
+    }
+
+    /// Number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// Iterates over the scheduled faults.
+    pub fn faults(&self) -> impl Iterator<Item = &CounterFault> {
+        self.entries.iter().flatten()
+    }
+
+    /// Corrupts one sampled [`BlockCounts`] in place. `cycle` is the
+    /// sampling instant and `sample_period` the monitor period (used to
+    /// derive the sample index for [`CounterFaultKind::ResetEvery`]).
+    pub fn apply(&self, cycle: u64, sample_period: u64, counts: &mut BlockCounts) {
+        if self.is_empty() {
+            return;
+        }
+        let sample_index = cycle.checked_div(sample_period).unwrap_or(0);
+        for fault in self.faults() {
+            if !fault.active(cycle) {
+                continue;
+            }
+            match fault.block {
+                Some(b) => {
+                    let truth = counts.get(fault.thread, b);
+                    counts.set(fault.thread, b, fault.kind.apply(sample_index, truth));
+                }
+                None => {
+                    for b in ALL_BLOCKS {
+                        let truth = counts.get(fault.thread, b);
+                        counts.set(fault.thread, b, fault.kind.apply(sample_index, truth));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REG: Block = Block::IntReg;
+
+    fn counts_with(thread: usize, block: Block, n: u64) -> BlockCounts {
+        let mut c = BlockCounts::new();
+        c.add(thread, block, n);
+        c
+    }
+
+    #[test]
+    fn empty_plan_is_a_no_op() {
+        let plan = CounterFaultPlan::none();
+        let mut c = counts_with(0, REG, 1234);
+        let before = c;
+        plan.apply(5_000, 1000, &mut c);
+        assert_eq!(c, before);
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+    }
+
+    #[test]
+    fn stuck_zero_hides_the_thread() {
+        let plan = CounterFaultPlan::none().with(CounterFault::permanent(
+            0,
+            Some(REG),
+            CounterFaultKind::StuckZero,
+        ));
+        let mut c = counts_with(0, REG, 9_000);
+        c.add(1, REG, 3_000);
+        plan.apply(1_000, 1000, &mut c);
+        assert_eq!(c.get(0, REG), 0, "faulty cell zeroed");
+        assert_eq!(c.get(1, REG), 3_000, "other thread untouched");
+    }
+
+    #[test]
+    fn saturate_caps_and_max_ceiling_pegs_high() {
+        let cap = CounterFaultPlan::none().with(CounterFault::permanent(
+            0,
+            Some(REG),
+            CounterFaultKind::SaturateAt { ceiling: 100 },
+        ));
+        let mut c = counts_with(0, REG, 9_000);
+        cap.apply(0, 1000, &mut c);
+        assert_eq!(c.get(0, REG), 100);
+
+        let peg = CounterFaultPlan::none().with(CounterFault::permanent(
+            0,
+            Some(REG),
+            CounterFaultKind::SaturateAt { ceiling: u64::MAX },
+        ));
+        let mut c = counts_with(0, REG, 5);
+        peg.apply(0, 1000, &mut c);
+        assert_eq!(c.get(0, REG), u64::MAX, "stuck-high reports max count");
+    }
+
+    #[test]
+    fn reset_every_zeroes_periodic_samples_only() {
+        let plan = CounterFaultPlan::none().with(CounterFault::permanent(
+            0,
+            Some(REG),
+            CounterFaultKind::ResetEvery { samples: 4 },
+        ));
+        // Sample index 4 (cycle 4000 / period 1000) → reset.
+        let mut c = counts_with(0, REG, 777);
+        plan.apply(4_000, 1000, &mut c);
+        assert_eq!(c.get(0, REG), 0);
+        // Sample index 5 → passes through.
+        let mut c = counts_with(0, REG, 777);
+        plan.apply(5_000, 1000, &mut c);
+        assert_eq!(c.get(0, REG), 777);
+    }
+
+    #[test]
+    fn undercount_shifts_and_bus_fault_hits_all_blocks() {
+        let plan = CounterFaultPlan::none().with(CounterFault::permanent(
+            1,
+            None,
+            CounterFaultKind::Undercount { shift: 3 },
+        ));
+        let mut c = BlockCounts::new();
+        c.add(1, REG, 800);
+        c.add(1, Block::FpMul, 80);
+        c.add(0, REG, 800);
+        plan.apply(0, 1000, &mut c);
+        assert_eq!(c.get(1, REG), 100);
+        assert_eq!(c.get(1, Block::FpMul), 10);
+        assert_eq!(c.get(0, REG), 800, "healthy thread unaffected");
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let plan = CounterFaultPlan::none().with(CounterFault {
+            thread: 0,
+            block: Some(REG),
+            kind: CounterFaultKind::StuckZero,
+            from_cycle: 1_000,
+            until_cycle: 2_000,
+        });
+        let mut c = counts_with(0, REG, 5);
+        plan.apply(999, 1000, &mut c);
+        assert_eq!(c.get(0, REG), 5, "before the window");
+        plan.apply(1_000, 1000, &mut c);
+        assert_eq!(c.get(0, REG), 0, "at from_cycle");
+        let mut c = counts_with(0, REG, 5);
+        plan.apply(2_000, 1000, &mut c);
+        assert_eq!(c.get(0, REG), 5, "until_cycle is exclusive");
+    }
+
+    #[test]
+    #[should_panic(expected = "counter fault plan full")]
+    fn plan_capacity_is_enforced() {
+        let mut plan = CounterFaultPlan::none();
+        for _ in 0..=MAX_COUNTER_FAULTS {
+            plan = plan.with(CounterFault::permanent(
+                0,
+                Some(REG),
+                CounterFaultKind::StuckZero,
+            ));
+        }
+    }
+}

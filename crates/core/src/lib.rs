@@ -50,7 +50,14 @@
 //! let mut counts = BlockCounts::new();
 //! counts.add(0, Block::IntReg, 10_000); // thread 0 hammers the regfile
 //! counts.add(1, Block::IntReg, 2_000);
-//! let d = policy.on_sample(&DtmInput { cycle: 1_000, block_temps: &temps, counts: &counts, global_stalled: false });
+//! let d = policy.on_sample(&DtmInput {
+//!     cycle: 1_000,
+//!     block_temps: &temps,
+//!     sensor_valid: &hs_core::policy::ALL_SENSORS_VALID,
+//!     sensor_fresh: true,
+//!     counts: &counts,
+//!     global_stalled: false,
+//! });
 //! assert!(d.gate.is_gated(hs_cpu::ThreadId(0)));   // culprit sedated
 //! assert!(!d.gate.is_gated(hs_cpu::ThreadId(1)));  // victim untouched
 //! ```
@@ -61,6 +68,10 @@
 pub mod config;
 pub mod counts;
 pub mod dvfs;
+pub mod error;
+pub mod failsafe;
+pub mod faults;
+pub mod guard;
 pub mod monitor;
 pub mod policy;
 pub mod rate_cap;
@@ -71,8 +82,12 @@ pub mod stop_and_go;
 pub use config::{DtmThresholds, SedationConfig};
 pub use counts::BlockCounts;
 pub use dvfs::GlobalDvfs;
+pub use error::ConfigError;
+pub use failsafe::{FailsafeConfig, FailsafeMode, FaultTolerantDtm};
+pub use faults::{CounterFault, CounterFaultKind, CounterFaultPlan, MAX_COUNTER_FAULTS};
+pub use guard::{GuardConfig, GuardEvent, GuardedFrame, SensorGuard, SensorHealth};
 pub use monitor::Ewma;
-pub use policy::{DtmDecision, DtmInput, NoDtm, ThermalPolicy};
+pub use policy::{DtmDecision, DtmInput, NoDtm, ThermalPolicy, ALL_SENSORS_VALID};
 pub use rate_cap::{RateCap, RateCapConfig};
 pub use report::{OsReport, ReportKind};
 pub use sedation::SelectiveSedation;

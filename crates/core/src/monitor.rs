@@ -35,20 +35,36 @@ pub struct Ewma {
 impl Ewma {
     /// Creates an average with weight `x = 1 / 2^shift`, starting at zero.
     ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 <= shift < 32`.
+    pub fn try_new(shift: u32) -> Result<Self, crate::ConfigError> {
+        if !(1..32).contains(&shift) {
+            return Err(crate::ConfigError::new(
+                "ewma_shift",
+                "shift must be in 1..32",
+            ));
+        }
+        Ok(Ewma { fixed: 0, shift })
+    }
+
+    /// Creates an average with weight `x = 1 / 2^shift`, starting at zero.
+    ///
     /// # Panics
     ///
     /// Panics unless `1 <= shift < 32`.
     #[must_use]
     pub fn new(shift: u32) -> Self {
-        assert!((1..32).contains(&shift), "shift must be in 1..32");
-        Ewma { fixed: 0, shift }
+        Self::try_new(shift).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Folds one sampled access count into the average. This is the
     /// hardware datapath: `avg += (sample - avg) >> shift`, all in fixed
-    /// point.
+    /// point. Samples too large for the fixed-point register saturate (as
+    /// a hardware counter would) instead of overflowing — relevant when a
+    /// faulty counter reports a wild value.
     pub fn update(&mut self, sample: u64) {
-        let sample_fixed = sample << FRAC_BITS;
+        let sample_fixed = sample.min(u64::MAX >> FRAC_BITS) << FRAC_BITS;
         if sample_fixed >= self.fixed {
             self.fixed += (sample_fixed - self.fixed) >> self.shift;
         } else {
@@ -171,5 +187,30 @@ mod tests {
     #[should_panic(expected = "shift must be in 1..32")]
     fn invalid_shift_panics() {
         let _ = Ewma::new(0);
+    }
+
+    #[test]
+    fn try_new_reports_bad_shifts() {
+        assert!(Ewma::try_new(0).is_err());
+        assert!(Ewma::try_new(32).is_err());
+        assert!(Ewma::try_new(7).is_ok());
+    }
+
+    #[test]
+    fn huge_samples_saturate_instead_of_overflowing() {
+        // A saturated/faulty hardware counter can report u64::MAX; the
+        // fixed-point shift must not wrap (or panic in debug builds).
+        let mut e = Ewma::new(1);
+        for _ in 0..200 {
+            e.update(u64::MAX);
+        }
+        let cap = (u64::MAX >> 16) as f64;
+        assert!(e.value() <= cap + 1.0);
+        assert!(e.value() > cap * 0.9, "saturated value should be near cap");
+        // And it comes back down once the input normalizes.
+        for _ in 0..400 {
+            e.update(0);
+        }
+        assert!(e.value() < cap * 0.01);
     }
 }

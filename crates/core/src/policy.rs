@@ -5,13 +5,27 @@ use crate::report::OsReport;
 use hs_cpu::pipeline::FetchGate;
 use hs_thermal::NUM_BLOCKS;
 
+/// All sensors reporting valid readings (the common case, and the seed
+/// simulator's implicit assumption).
+pub const ALL_SENSORS_VALID: [bool; NUM_BLOCKS] = [true; NUM_BLOCKS];
+
 /// Everything a policy sees at one sampling instant.
 #[derive(Debug, Clone, Copy)]
 pub struct DtmInput<'a> {
     /// Current cycle.
     pub cycle: u64,
-    /// Sensor readings for every floorplan block (K).
+    /// Sensor readings for every floorplan block (K). For a block whose
+    /// sensor is currently unavailable (see `sensor_valid`) this holds the
+    /// last value that sensor reported.
     pub block_temps: &'a [f64; NUM_BLOCKS],
+    /// Whether each block's sensor produced a reading at the most recent
+    /// sensor update (`false` = dropout; the corresponding `block_temps`
+    /// entry is stale). Legacy policies may ignore this; the fault-tolerant
+    /// monitor front-end does not.
+    pub sensor_valid: &'a [bool; NUM_BLOCKS],
+    /// Whether the sensors were re-read at *this* sampling instant (sensor
+    /// updates are less frequent than monitor samples).
+    pub sensor_fresh: bool,
     /// Per-thread, per-block access counts since the previous sample. All
     /// zero while the pipeline is globally stalled.
     pub counts: &'a BlockCounts,
@@ -86,6 +100,8 @@ mod tests {
         let temps = [400.0; NUM_BLOCKS]; // absurdly hot
         let counts = BlockCounts::new();
         let d = p.on_sample(&DtmInput {
+            sensor_valid: &crate::policy::ALL_SENSORS_VALID,
+            sensor_fresh: true,
             cycle: 0,
             block_temps: &temps,
             counts: &counts,

@@ -54,25 +54,54 @@ impl Default for RateCapConfig {
 impl RateCapConfig {
     /// Validates the parameters.
     ///
+    /// # Errors
+    ///
+    /// Returns an error on a non-positive cap, zero periods, or a bad
+    /// shift.
+    pub fn try_validate(&self) -> Result<(), crate::ConfigError> {
+        if self.cap_accesses_per_cycle.is_nan() || self.cap_accesses_per_cycle <= 0.0 {
+            return Err(crate::ConfigError::new(
+                "cap_accesses_per_cycle",
+                "cap must be positive",
+            ));
+        }
+        if self.sample_period_cycles == 0 {
+            return Err(crate::ConfigError::new(
+                "sample_period_cycles",
+                "sample period must be nonzero",
+            ));
+        }
+        if self.penalty_cycles == 0 {
+            return Err(crate::ConfigError::new(
+                "penalty_cycles",
+                "penalty must be nonzero",
+            ));
+        }
+        if !(1..32).contains(&self.ewma_shift) {
+            return Err(crate::ConfigError::new(
+                "ewma_shift",
+                "ewma shift must be in 1..32",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates the parameters.
+    ///
     /// # Panics
     ///
     /// Panics on a non-positive cap, zero periods, or a bad shift.
     pub fn validate(&self) {
-        assert!(
-            self.cap_accesses_per_cycle > 0.0,
-            "cap must be positive"
-        );
-        assert!(self.sample_period_cycles > 0);
-        assert!(self.penalty_cycles > 0);
-        assert!((1..32).contains(&self.ewma_shift));
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 
     /// Returns a copy with time constants divided by `factor`.
     #[must_use]
     pub fn with_time_scale(mut self, factor: f64) -> Self {
         assert!(factor >= 1.0);
-        self.sample_period_cycles =
-            ((self.sample_period_cycles as f64 / factor) as u64).max(50);
+        self.sample_period_cycles = ((self.sample_period_cycles as f64 / factor) as u64).max(50);
         self.penalty_cycles = ((self.penalty_cycles as f64 / factor) as u64).max(1);
         self
     }
@@ -129,8 +158,7 @@ impl ThermalPolicy for RateCap {
 
     fn on_sample(&mut self, input: &DtmInput<'_>) -> DtmDecision {
         let cycle = input.cycle;
-        let cap_per_period =
-            self.cfg.cap_accesses_per_cycle * self.cfg.sample_period_cycles as f64;
+        let cap_per_period = self.cfg.cap_accesses_per_cycle * self.cfg.sample_period_cycles as f64;
         let mut gate = FetchGate::open();
         for t in 0..self.nthreads {
             // Expire penalties.
@@ -146,9 +174,9 @@ impl ThermalPolicy for RateCap {
             if !gated {
                 // The cap check: *no temperature involved* — that is the
                 // whole point of the strawman.
-                let over = ALL_BLOCKS.iter().any(|b| {
-                    self.monitors[t][b.index()].value() > cap_per_period
-                });
+                let over = ALL_BLOCKS
+                    .iter()
+                    .any(|b| self.monitors[t][b.index()].value() > cap_per_period);
                 if over {
                     self.gated_until[t] = Some(cycle + self.cfg.penalty_cycles);
                     self.false_positive_candidates += 1;
@@ -157,9 +185,7 @@ impl ThermalPolicy for RateCap {
                         thread: Some(ThreadId(t as u8)),
                         block: Block::IntReg,
                         kind: ReportKind::Sedated,
-                        weighted_avg: Some(
-                            self.monitors[t][Block::IntReg.index()].value(),
-                        ),
+                        weighted_avg: Some(self.monitors[t][Block::IntReg.index()].value()),
                         temperature_k: input.block_temps[Block::IntReg.index()],
                     });
                 }
@@ -204,6 +230,8 @@ mod tests {
                 }
             }
             d = p.on_sample(&DtmInput {
+                sensor_valid: &crate::policy::ALL_SENSORS_VALID,
+                sensor_fresh: true,
                 cycle,
                 block_temps: &temps,
                 counts: &counts,

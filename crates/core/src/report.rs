@@ -17,6 +17,25 @@ pub enum ReportKind {
     Emergency,
     /// The safety-net stall ended; all sedated threads were restored.
     SafetyNetReleased,
+    /// A temperature sensor produced implausible readings and was demoted
+    /// to *suspect* by the hardened monitor front-end.
+    SensorSuspect,
+    /// A temperature sensor kept misbehaving and was declared *failed*; its
+    /// readings are no longer trusted.
+    SensorFailed,
+    /// A previously suspect/failed sensor produced a long run of plausible
+    /// readings and regained (one level of) trust.
+    SensorRecovered,
+    /// The failsafe DTM lost trust in a sensor and fell back from selective
+    /// sedation to worst-case stop-and-go.
+    FallbackEngaged,
+    /// All sensors regained trust; selective sedation resumed.
+    FallbackReleased,
+    /// Too few trusted sensors remained (quorum lost); the watchdog halted
+    /// fetch entirely.
+    WatchdogHalt,
+    /// Sensor quorum was restored; the watchdog released the halt.
+    WatchdogResumed,
 }
 
 impl fmt::Display for ReportKind {
@@ -26,6 +45,13 @@ impl fmt::Display for ReportKind {
             ReportKind::Released => "released",
             ReportKind::Emergency => "emergency",
             ReportKind::SafetyNetReleased => "safety-net released",
+            ReportKind::SensorSuspect => "sensor suspect",
+            ReportKind::SensorFailed => "sensor failed",
+            ReportKind::SensorRecovered => "sensor recovered",
+            ReportKind::FallbackEngaged => "fallback engaged",
+            ReportKind::FallbackReleased => "fallback released",
+            ReportKind::WatchdogHalt => "watchdog halt",
+            ReportKind::WatchdogResumed => "watchdog resumed",
         };
         f.write_str(s)
     }

@@ -243,9 +243,8 @@ impl ThermalPolicy for SelectiveSedation {
 
             let unsedated = self.nthreads - self.sedated_count(b);
             let first_trigger = self.sedated_count(b) == 0 && temp >= upper;
-            let recheck_due = self
-                .recheck_at[b.index()]
-                .is_some_and(|due| cycle >= due && temp > lower);
+            let recheck_due =
+                self.recheck_at[b.index()].is_some_and(|due| cycle >= due && temp > lower);
             if (first_trigger || recheck_due) && unsedated >= 2 {
                 // Identify the culprit: highest weighted average among the
                 // unsedated threads. The last unsedated thread is exempt
@@ -256,8 +255,7 @@ impl ThermalPolicy for SelectiveSedation {
             } else if recheck_due {
                 // Re-examined but nothing more to sedate: push the deadline
                 // so we do not re-trigger every sample.
-                self.recheck_at[b.index()] =
-                    Some(cycle + 2 * self.cfg.cooling_time_cycles);
+                self.recheck_at[b.index()] = Some(cycle + 2 * self.cfg.cooling_time_cycles);
             }
         }
 
@@ -305,6 +303,8 @@ mod tests {
         let mut d = DtmDecision::default();
         for i in 0..n {
             d = policy.on_sample(&DtmInput {
+                sensor_valid: &crate::policy::ALL_SENSORS_VALID,
+                sensor_fresh: true,
                 cycle: start_cycle + i * 1000,
                 block_temps: &temps,
                 counts: &counts,
@@ -469,6 +469,8 @@ mod tests {
         counts.add(1, Block::FpMul, 1_000);
         for i in 0..500u64 {
             p.on_sample(&DtmInput {
+                sensor_valid: &crate::policy::ALL_SENSORS_VALID,
+                sensor_fresh: true,
                 cycle: (i + 1) * 1000,
                 block_temps: &temps,
                 counts: &counts,
@@ -477,6 +479,8 @@ mod tests {
         }
         temps[Block::FpMul.index()] = 356.4;
         let d = p.on_sample(&DtmInput {
+            sensor_valid: &crate::policy::ALL_SENSORS_VALID,
+            sensor_fresh: true,
             cycle: 501_000,
             block_temps: &temps,
             counts: &counts,
@@ -505,6 +509,8 @@ mod tests {
         counts.add(2, Block::FpMul, 500);
         for i in 0..500u64 {
             p.on_sample(&DtmInput {
+                sensor_valid: &crate::policy::ALL_SENSORS_VALID,
+                sensor_fresh: true,
                 cycle: (i + 1) * 1000,
                 block_temps: &temps_cool,
                 counts: &counts,
@@ -515,6 +521,8 @@ mod tests {
         temps[Block::IntReg.index()] = 356.4;
         temps[Block::FpMul.index()] = 356.4;
         let d = p.on_sample(&DtmInput {
+            sensor_valid: &crate::policy::ALL_SENSORS_VALID,
+            sensor_fresh: true,
             cycle: 501_000,
             block_temps: &temps,
             counts: &counts,

@@ -110,8 +110,14 @@ mod tests {
     use crate::counts::BlockCounts;
     use hs_thermal::Block;
 
-    fn input<'a>(temps: &'a [f64; NUM_BLOCKS], counts: &'a BlockCounts, cycle: u64) -> DtmInput<'a> {
+    fn input<'a>(
+        temps: &'a [f64; NUM_BLOCKS],
+        counts: &'a BlockCounts,
+        cycle: u64,
+    ) -> DtmInput<'a> {
         DtmInput {
+            sensor_valid: &crate::policy::ALL_SENSORS_VALID,
+            sensor_fresh: true,
             cycle,
             block_temps: temps,
             counts,

@@ -1,20 +1,20 @@
 //! End-to-end quantum benchmarks: how fast the full stack (pipeline +
 //! power + thermal + DTM) simulates one heavily time-scaled quantum for
-//! the three scenario classes every figure is built from.
+//! the three scenario classes every figure is built from. Plain timing
+//! harness (`harness = false`); the build is offline so no external bench
+//! framework is used.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hs_sim::{HeatSink, PolicyKind, RunSpec, SimConfig};
 use hs_workloads::{SpecWorkload, Workload};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_quantum(c: &mut Criterion) {
-    let mut g = c.benchmark_group("quantum");
-    // A very small quantum so criterion can iterate: scale 2000 ⇒ 250k
+fn main() {
+    // A very small quantum so the harness can iterate: scale 2000 ⇒ 250k
     // cycles measured (+ a trimmed warm-up).
     let mut cfg = SimConfig::scaled(2000.0);
     cfg.warmup_cycles = 200_000;
-    g.throughput(Throughput::Elements(cfg.quantum_cycles + cfg.warmup_cycles));
-    g.sample_size(10);
+    let cycles = cfg.quantum_cycles + cfg.warmup_cycles;
 
     let scenarios = [
         (
@@ -47,13 +47,20 @@ fn bench_quantum(c: &mut Criterion) {
             ),
         ),
     ];
+    const ITERS: u32 = 5;
     for (name, spec) in scenarios {
-        g.bench_function(BenchmarkId::new("run", name), |b| {
-            b.iter(|| black_box(spec.run().thread(0).ipc));
-        });
+        // Warm once, then time.
+        black_box(spec.run().thread(0).ipc);
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(spec.run().thread(0).ipc);
+        }
+        let elapsed = start.elapsed();
+        let per_run = elapsed.as_secs_f64() / f64::from(ITERS);
+        let rate = cycles as f64 / per_run;
+        println!(
+            "quantum/run/{name:<22} {:>9.1} ms/run   {rate:>14.0} cycles/s",
+            per_run * 1e3
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_quantum);
-criterion_main!(benches);

@@ -1,15 +1,31 @@
-//! Criterion microbenchmarks for the SMT pipeline: cycles/second for
-//! representative workload mixes, plus the cache and predictor substrates.
+//! Microbenchmarks for the SMT pipeline: cycles/second for representative
+//! workload mixes, plus the cache and predictor substrates. Plain timing
+//! harness (`harness = false`); the build is offline so no external bench
+//! framework is used.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hs_cpu::pipeline::FetchGate;
 use hs_cpu::{BranchPredictor, Cpu, CpuConfig};
 use hs_mem::{AccessKind, CacheGeometry, MemConfig, MemoryHierarchy, SetAssocCache};
 use hs_workloads::{SpecWorkload, Workload};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline");
+/// Times `iters` calls of `f`, reporting mean ns/iter and optional
+/// elements-per-second throughput.
+fn bench(name: &str, iters: u64, elements_per_iter: u64, mut f: impl FnMut()) {
+    // Warm once so lazy state is populated before timing.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    let rate = elements_per_iter as f64 * iters as f64 / elapsed.as_secs_f64();
+    println!("{name:<36} {ns_per_iter:>14.1} ns/iter   {rate:>14.0} elem/s");
+}
+
+fn bench_pipeline() {
     let cases = [
         ("gcc-solo", vec![Workload::Spec(SpecWorkload::Gcc)]),
         ("variant1-solo", vec![Workload::Variant1]),
@@ -26,71 +42,57 @@ fn bench_pipeline(c: &mut Criterion) {
         ),
     ];
     const CYCLES: u64 = 20_000;
-    g.throughput(Throughput::Elements(CYCLES));
     for (name, ws) in cases {
-        g.bench_function(BenchmarkId::new("tick", name), |b| {
-            let mut cpu = Cpu::new(CpuConfig::default(), MemConfig::default());
-            for w in &ws {
-                cpu.attach_thread(w.program(50.0));
-            }
-            // Warm.
-            for _ in 0..200_000 {
+        let mut cpu = Cpu::new(CpuConfig::default(), MemConfig::default());
+        for w in &ws {
+            cpu.attach_thread(w.program(50.0));
+        }
+        for _ in 0..200_000 {
+            cpu.tick(FetchGate::open());
+        }
+        bench(&format!("pipeline/tick/{name}"), 20, CYCLES, || {
+            for _ in 0..CYCLES {
                 cpu.tick(FetchGate::open());
             }
-            b.iter(|| {
-                for _ in 0..CYCLES {
-                    cpu.tick(FetchGate::open());
-                }
-                black_box(cpu.cycle())
-            });
+            black_box(cpu.cycle());
         });
     }
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("l1-hit-stream", |b| {
-        let mut cache = SetAssocCache::new(CacheGeometry::new(64 << 10, 64, 4).unwrap());
+fn bench_cache() {
+    let mut cache = SetAssocCache::new(CacheGeometry::new(64 << 10, 64, 4).unwrap());
+    for i in 0..1024u64 {
+        cache.access(i * 64 % (32 << 10), false);
+    }
+    bench("cache/l1-hit-stream", 200, 1024, || {
         for i in 0..1024u64 {
-            cache.access(i * 64 % (32 << 10), false);
+            black_box(cache.access(i * 64 % (32 << 10), false));
         }
-        b.iter(|| {
-            for i in 0..1024u64 {
-                black_box(cache.access(i * 64 % (32 << 10), false));
-            }
-        });
     });
-    g.bench_function("hierarchy-l2-conflict", |b| {
-        let cfg = MemConfig::default();
-        let stride = cfg.l2.way_stride();
-        let mut mem = MemoryHierarchy::new(cfg);
-        b.iter(|| {
-            for i in 0..9u64 {
-                black_box(mem.access(AccessKind::DataRead, 0x100 + i * stride));
-            }
-        });
-    });
-    g.finish();
-}
 
-fn bench_bpred(c: &mut Criterion) {
-    c.bench_function("bpred/predict-update", |b| {
-        let mut p = BranchPredictor::new(2048);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(64);
-            let taken = p.predict(i);
-            p.update(i, i % 3 != 0);
-            black_box(taken)
-        });
+    let cfg = MemConfig::default();
+    let stride = cfg.l2.way_stride();
+    let mut mem = MemoryHierarchy::new(cfg);
+    bench("cache/hierarchy-l2-conflict", 200, 9, || {
+        for i in 0..9u64 {
+            black_box(mem.access(AccessKind::DataRead, 0x100 + i * stride));
+        }
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_pipeline, bench_cache, bench_bpred
+fn bench_bpred() {
+    let mut p = BranchPredictor::new(2048);
+    let mut i = 0u64;
+    bench("bpred/predict-update", 100_000, 1, || {
+        i = i.wrapping_add(64);
+        let taken = p.predict(i);
+        p.update(i, i % 3 != 0);
+        black_box(taken);
+    });
 }
-criterion_main!(benches);
+
+fn main() {
+    bench_pipeline();
+    bench_cache();
+    bench_bpred();
+}

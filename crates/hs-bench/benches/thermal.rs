@@ -1,47 +1,54 @@
-//! Criterion microbenchmarks for the thermal network and power model.
+//! Microbenchmarks for the thermal network and power model. Plain timing
+//! harness (`harness = false`); the build is offline so no external bench
+//! framework is used.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hs_cpu::{AccessMatrix, Resource, ThreadId};
 use hs_power::{EnergyTable, PowerModel};
 use hs_thermal::{Block, PowerVector, ThermalConfig, ThermalNetwork};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_thermal(c: &mut Criterion) {
-    let mut g = c.benchmark_group("thermal");
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<36} {ns_per_iter:>14.1} ns/iter");
+}
+
+fn bench_thermal() {
     let cfg = ThermalConfig::default().with_time_scale(25.0);
     let mut p = PowerVector::from_fn(|_| 2.0);
     p.set(Block::IntReg, 4.0);
 
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("step-5us", |b| {
-        let mut net = ThermalNetwork::new(&cfg);
-        net.initialize_steady_state(&p);
-        b.iter(|| {
-            net.step(5e-6, &p);
-            black_box(net.block_temp(Block::IntReg))
-        });
+    let mut net = ThermalNetwork::new(&cfg);
+    net.initialize_steady_state(&p);
+    bench("thermal/step-5us", 100_000, || {
+        net.step(5e-6, &p);
+        black_box(net.block_temp(Block::IntReg));
     });
-    g.bench_function("steady-state-solve", |b| {
-        let net = ThermalNetwork::new(&cfg);
-        b.iter(|| black_box(net.steady_state_temp(&p, Block::IntReg)));
-    });
-    g.finish();
-}
 
-fn bench_power(c: &mut Criterion) {
-    c.bench_function("power/sample", |b| {
-        let model = PowerModel::new(EnergyTable::default());
-        let mut counts = AccessMatrix::new();
-        counts.add(ThreadId(0), Resource::IntRegFile, 60_000);
-        counts.add(ThreadId(0), Resource::L1D, 9_000);
-        counts.add(ThreadId(1), Resource::IntRegFile, 200_000);
-        b.iter(|| black_box(model.power(&counts, 20_000, 4.0e9)));
+    let net = ThermalNetwork::new(&cfg);
+    bench("thermal/steady-state-solve", 100_000, || {
+        black_box(net.steady_state_temp(&p, Block::IntReg));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_thermal, bench_power
+fn bench_power() {
+    let model = PowerModel::new(EnergyTable::default());
+    let mut counts = AccessMatrix::new();
+    counts.add(ThreadId(0), Resource::IntRegFile, 60_000);
+    counts.add(ThreadId(0), Resource::L1D, 9_000);
+    counts.add(ThreadId(1), Resource::IntRegFile, 200_000);
+    bench("power/sample", 100_000, || {
+        black_box(model.power(&counts, 20_000, 4.0e9));
+    });
 }
-criterion_main!(benches);
+
+fn main() {
+    bench_thermal();
+    bench_power();
+}

@@ -29,7 +29,10 @@ fn main() {
         rows.push((w.name().to_string(), stats.thread(0).int_regfile_rate));
     }
 
-    println!("{:>10} {:>6}  {}", "program", "rate", "0 . . . . 5 . . . . 10 . .");
+    println!(
+        "{:>10} {:>6}  {}",
+        "program", "rate", "0 . . . . 5 . . . . 10 . ."
+    );
     for (name, rate) in &rows {
         println!("{name:>10} {rate:>6.2}  {}", bar(*rate, 12.0, 26));
     }
@@ -39,7 +42,12 @@ fn main() {
         .filter(|(n, _)| !n.starts_with("variant"))
         .map(|(_, r)| *r)
         .fold(0.0f64, f64::max);
-    let get = |name: &str| rows.iter().find(|(n, _)| n == name).map(|(_, r)| *r).unwrap_or(0.0);
+    let get = |name: &str| {
+        rows.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| *r)
+            .unwrap_or(0.0)
+    };
     println!();
     println!("SPEC maximum          : {spec_max:.2} accesses/cycle");
     println!(

@@ -11,7 +11,11 @@ use hs_workloads::Workload;
 
 fn main() {
     let cfg = config();
-    header("Figure 4", "temperature emergencies in one OS quantum", &cfg);
+    header(
+        "Figure 4",
+        "temperature emergencies in one OS quantum",
+        &cfg,
+    );
 
     println!(
         "{:>10} {:>6} {:>14} {:>14}",

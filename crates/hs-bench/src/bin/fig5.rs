@@ -29,21 +29,34 @@ fn victim_ipc(
 
 fn main() {
     let cfg = config();
-    header("Figure 5", "IPC of the SPEC program under the 11 configurations", &cfg);
+    header(
+        "Figure 5",
+        "IPC of the SPEC program under the 11 configurations",
+        &cfg,
+    );
 
     let attackers = [Workload::Variant1, Workload::Variant2, Workload::Variant3];
     let mut rows = Vec::new();
     for s in suite() {
         let w = Workload::Spec(s);
-        let solo_ideal = run_solo(w, PolicyKind::None, HeatSink::Ideal, cfg).thread(0).ipc;
-        let solo_real =
-            run_solo(w, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).thread(0).ipc;
+        let solo_ideal = run_solo(w, PolicyKind::None, HeatSink::Ideal, cfg)
+            .thread(0)
+            .ipc;
+        let solo_real = run_solo(w, PolicyKind::StopAndGo, HeatSink::Realistic, cfg)
+            .thread(0)
+            .ipc;
         let mut variants = [[0.0; 3]; 3];
         for (vi, &v) in attackers.iter().enumerate() {
             variants[vi] = [
                 victim_ipc(w, v, PolicyKind::None, HeatSink::Ideal, cfg),
                 victim_ipc(w, v, PolicyKind::StopAndGo, HeatSink::Realistic, cfg),
-                victim_ipc(w, v, PolicyKind::SelectiveSedation, HeatSink::Realistic, cfg),
+                victim_ipc(
+                    w,
+                    v,
+                    PolicyKind::SelectiveSedation,
+                    HeatSink::Realistic,
+                    cfg,
+                ),
             ];
         }
         rows.push(Row {
@@ -62,7 +75,18 @@ fn main() {
     );
     println!(
         "{:>10} | {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5}",
-        "benchmark", "ideal", "real", "ideal", "s&g", "sed", "ideal", "s&g", "sed", "ideal", "s&g", "sed"
+        "benchmark",
+        "ideal",
+        "real",
+        "ideal",
+        "s&g",
+        "sed",
+        "ideal",
+        "s&g",
+        "sed",
+        "ideal",
+        "s&g",
+        "sed"
     );
     println!("{}", "-".repeat(100));
     let mut sums = [0.0f64; 11];
@@ -101,11 +125,29 @@ fn main() {
 
     let deg = |i: usize| 100.0 * (1.0 - sums[i] / sums[1]);
     println!("\nheat-stroke degradation vs solo-realistic (victim IPC):");
-    println!("  variant1 + stop-and-go : {:>5.1}%   (power density + ICOUNT monopolization)", deg(3));
-    println!("  variant2 + stop-and-go : {:>5.1}%   (power density alone — the heat stroke)", deg(6));
-    println!("  variant3 + stop-and-go : {:>5.1}%   (evasive low-rate attacker)", deg(9));
+    println!(
+        "  variant1 + stop-and-go : {:>5.1}%   (power density + ICOUNT monopolization)",
+        deg(3)
+    );
+    println!(
+        "  variant2 + stop-and-go : {:>5.1}%   (power density alone — the heat stroke)",
+        deg(6)
+    );
+    println!(
+        "  variant3 + stop-and-go : {:>5.1}%   (evasive low-rate attacker)",
+        deg(9)
+    );
     println!("\nselective sedation restores the victim to:");
-    println!("  vs variant1 : {:>5.1}% of solo", 100.0 * sums[4] / sums[1]);
-    println!("  vs variant2 : {:>5.1}% of solo", 100.0 * sums[7] / sums[1]);
-    println!("  vs variant3 : {:>5.1}% of solo", 100.0 * sums[10] / sums[1]);
+    println!(
+        "  vs variant1 : {:>5.1}% of solo",
+        100.0 * sums[4] / sums[1]
+    );
+    println!(
+        "  vs variant2 : {:>5.1}% of solo",
+        100.0 * sums[7] / sums[1]
+    );
+    println!(
+        "  vs variant3 : {:>5.1}% of solo",
+        100.0 * sums[10] / sums[1]
+    );
 }

@@ -28,7 +28,13 @@ fn main() {
     for s in suite() {
         let w = Workload::Spec(s);
         let solo = run_solo(w, PolicyKind::StopAndGo, HeatSink::Realistic, cfg);
-        let sg = run_pair(w, Workload::Variant2, PolicyKind::StopAndGo, HeatSink::Realistic, cfg);
+        let sg = run_pair(
+            w,
+            Workload::Variant2,
+            PolicyKind::StopAndGo,
+            HeatSink::Realistic,
+            cfg,
+        );
         let sed = run_pair(
             w,
             Workload::Variant2,
@@ -53,9 +59,14 @@ fn main() {
     }
 
     println!("\naverages across the suite:");
-    for (i, label) in ["SPEC alone", "SPEC +v2 stop-and-go", "SPEC +v2 sedation", "variant2 under sedation"]
-        .iter()
-        .enumerate()
+    for (i, label) in [
+        "SPEC alone",
+        "SPEC +v2 stop-and-go",
+        "SPEC +v2 sedation",
+        "variant2 under sedation",
+    ]
+    .iter()
+    .enumerate()
     {
         println!(
             "  {:>24}: normal {:>4.0}%, cooling stalls {:>4.0}%, sedated {:>4.0}%",

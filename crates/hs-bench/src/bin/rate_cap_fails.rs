@@ -30,8 +30,12 @@ fn main() {
     let mut punished = 0;
     for s in suite() {
         let w = Workload::Spec(s);
-        let base = run_solo(w, PolicyKind::None, HeatSink::Ideal, cfg).thread(0).ipc;
-        let capped = run_solo(w, PolicyKind::RateCap, HeatSink::Ideal, cfg).thread(0).ipc;
+        let base = run_solo(w, PolicyKind::None, HeatSink::Ideal, cfg)
+            .thread(0)
+            .ipc;
+        let capped = run_solo(w, PolicyKind::RateCap, HeatSink::Ideal, cfg)
+            .thread(0)
+            .ipc;
         let lost = 100.0 * (1.0 - capped / base);
         if lost > 2.0 {
             punished += 1;
@@ -42,10 +46,17 @@ fn main() {
             base,
             capped,
             lost,
-            if lost > 2.0 { "  <- false positive" } else { "" }
+            if lost > 2.0 {
+                "  <- false positive"
+            } else {
+                ""
+            }
         );
     }
-    println!("\n{punished} of {} innocent benchmarks lose throughput to the cap.", suite().len());
+    println!(
+        "\n{punished} of {} innocent benchmarks lose throughput to the cap.",
+        suite().len()
+    );
 
     // Part 2: false negatives — the evasive attacker under the cap.
     println!("\nfalse negatives (victim = gcc):\n");

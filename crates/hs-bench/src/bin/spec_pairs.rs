@@ -25,11 +25,21 @@ fn main() {
     for pair in pairs {
         let (a, b) = (Workload::Spec(pair[0]), Workload::Spec(pair[1]));
         let off = run_pair(a, b, PolicyKind::StopAndGo, HeatSink::Realistic, cfg);
-        let on = run_pair(a, b, PolicyKind::SelectiveSedation, HeatSink::Realistic, cfg);
+        let on = run_pair(
+            a,
+            b,
+            PolicyKind::SelectiveSedation,
+            HeatSink::Realistic,
+            cfg,
+        );
         let total_off = off.thread(0).ipc + off.thread(1).ipc;
         let total_on = on.thread(0).ipc + on.thread(1).ipc;
         let delta = 100.0 * (total_on - total_off) / total_off;
-        worst = if delta.abs() > worst.abs() { delta } else { worst };
+        worst = if delta.abs() > worst.abs() {
+            delta
+        } else {
+            worst
+        };
         let sedations: u64 = on.threads.iter().map(|t| t.sedations).sum();
         println!(
             "{:>20} | {:>5.2} / {:>5.2} | {:>5.2} / {:>5.2} | {:>+6.1}% | {:>9}",

@@ -53,10 +53,12 @@ fn main() {
     );
     // Periods are expressed pre-scaling (the paper's cycle counts); they
     // must divide the sensor interval after scaling.
-    for period in [cfg.sedation.sample_period_cycles / 2,
-                   cfg.sedation.sample_period_cycles,
-                   cfg.sedation.sample_period_cycles * 2,
-                   cfg.sedation.sample_period_cycles * 4] {
+    for period in [
+        cfg.sedation.sample_period_cycles / 2,
+        cfg.sedation.sample_period_cycles,
+        cfg.sedation.sample_period_cycles * 2,
+        cfg.sedation.sample_period_cycles * 4,
+    ] {
         if period == 0 || cfg.sensor_interval_cycles % period != 0 {
             continue;
         }

@@ -11,7 +11,11 @@ use hs_workloads::Workload;
 
 fn main() {
     let mut cfg = config();
-    header("Section 5.5", "packaging sweep (convection resistance)", &cfg);
+    header(
+        "Section 5.5",
+        "packaging sweep (convection resistance)",
+        &cfg,
+    );
 
     // Use a representative subset unless HS_SUBSET overrides.
     let members = if std::env::var("HS_SUBSET").is_ok() {

@@ -12,7 +12,10 @@ fn main() {
     println!("Table 1: System parameters");
     println!("==========================\n");
     println!("Architectural Parameters");
-    println!("  Instruction issue        {}, out-of-order", cpu.issue_width);
+    println!(
+        "  Instruction issue        {}, out-of-order",
+        cpu.issue_width
+    );
     println!(
         "  L1                       {}KB {}-way i & d, {}-cycle",
         mem.l1i.size_bytes() / 1024,
@@ -25,7 +28,10 @@ fn main() {
         mem.l2.assoc(),
         mem.l2_latency
     );
-    println!("  RUU/LSQ                  {}/{} entries", cpu.ruu_size, cpu.lsq_size);
+    println!(
+        "  RUU/LSQ                  {}/{} entries",
+        cpu.ruu_size, cpu.lsq_size
+    );
     println!("  Memory ports             {}", cpu.mem_ports);
     println!("  Off-chip memory latency  {} cycles", mem.memory_latency);
     println!("  SMT                      {} contexts", cpu.contexts);
@@ -37,19 +43,33 @@ fn main() {
     println!("Power Density Parameters");
     println!("  Vdd                      1.1 V (modelled via calibrated per-access energies)");
     println!("  Base frequency           {} GHz", cfg.freq_hz / 1e9);
-    println!("  Convection resistance    {} K/W", th.convection_resistance);
-    println!("  Heat-sink capacitance    {} J/K (6.9 mm sink equivalent)", th.sink_capacitance);
+    println!(
+        "  Convection resistance    {} K/W",
+        th.convection_resistance
+    );
+    println!(
+        "  Heat-sink capacitance    {} J/K (6.9 mm sink equivalent)",
+        th.sink_capacitance
+    );
     println!(
         "  Thermal RC cooling time  ~10 ms (physical); {}x time-scaled here",
         cfg.time_scale
     );
-    println!("  Sensor period            {} cycles", cfg.sensor_interval_cycles);
+    println!(
+        "  Sensor period            {} cycles",
+        cfg.sensor_interval_cycles
+    );
     println!();
     println!("DTM thresholds (K)");
     let t = cfg.sedation.thresholds;
-    println!("  emergency / upper / lower / normal = {} / {} / {} / {}",
-        t.emergency_k, t.upper_k, t.lower_k, t.normal_k);
-    println!("  monitor sample period    {} cycles, EWMA x = 1/{}",
-        cfg.sedation.sample_period_cycles, 1u32 << cfg.sedation.ewma_shift);
+    println!(
+        "  emergency / upper / lower / normal = {} / {} / {} / {}",
+        t.emergency_k, t.upper_k, t.lower_k, t.normal_k
+    );
+    println!(
+        "  monitor sample period    {} cycles, EWMA x = 1/{}",
+        cfg.sedation.sample_period_cycles,
+        1u32 << cfg.sedation.ewma_shift
+    );
     println!("  OS quantum               {} cycles", cfg.quantum_cycles);
 }

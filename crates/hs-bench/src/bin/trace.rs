@@ -16,7 +16,9 @@ use hs_workloads::{SpecWorkload, Workload};
 
 fn main() {
     let cfg = config();
-    let which = std::env::args().nth(1).unwrap_or_else(|| "stop-and-go".into());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "stop-and-go".into());
     let mut policy: Box<dyn ThermalPolicy> = match which.as_str() {
         "sedation" => Box::new(SelectiveSedation::new(cfg.sedation, 2)),
         _ => Box::new(StopAndGo::new(cfg.sedation.thresholds)),
@@ -66,6 +68,8 @@ fn main() {
             }
             power_accum.merge(&counts);
             let d = policy.on_sample(&DtmInput {
+                sensor_valid: &hs_core::policy::ALL_SENSORS_VALID,
+                sensor_fresh: true,
                 cycle: step * sensor,
                 block_temps: &temps,
                 counts: &block_counts,
@@ -91,5 +95,9 @@ fn main() {
             rates[1] as f64 / sensor as f64,
         );
     }
-    eprintln!("policy: {} — {} emergencies", policy.name(), policy.emergencies());
+    eprintln!(
+        "policy: {} — {} emergencies",
+        policy.name(),
+        policy.emergencies()
+    );
 }

@@ -102,32 +102,60 @@ impl Default for CpuConfig {
 impl CpuConfig {
     /// Validates internal consistency.
     ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: a zero
+    /// width or capacity, a RUU cap outside the RUU, a non-power-of-two
+    /// predictor, or more contexts than [`crate::MAX_THREADS`].
+    pub fn try_validate(&self) -> Result<(), String> {
+        let nonzero: [(&str, u64); 10] = [
+            ("fetch_width", u64::from(self.fetch_width)),
+            (
+                "fetch_threads_per_cycle",
+                u64::from(self.fetch_threads_per_cycle),
+            ),
+            ("fetch_queue_size", self.fetch_queue_size as u64),
+            ("dispatch_width", u64::from(self.dispatch_width)),
+            ("issue_width", u64::from(self.issue_width)),
+            ("commit_width", u64::from(self.commit_width)),
+            ("ruu_size", self.ruu_size as u64),
+            ("lsq_size", self.lsq_size as u64),
+            ("mem_ports", u64::from(self.mem_ports)),
+            ("int_alus", u64::from(self.int_alus)),
+        ];
+        for (name, v) in nonzero {
+            if v == 0 {
+                return Err(format!("{name} must be nonzero"));
+            }
+        }
+        if !(1..=self.ruu_size).contains(&self.ruu_per_thread_cap) {
+            return Err("per-thread RUU cap must be in 1..=ruu_size".into());
+        }
+        if self.issue_scan_depth == 0 {
+            return Err("issue scan depth must be nonzero".into());
+        }
+        if !self.bpred_entries.is_power_of_two() {
+            return Err("bpred entries must be a power of two".into());
+        }
+        if (self.contexts as usize) > crate::resources::MAX_THREADS {
+            return Err(format!(
+                "at most {} contexts supported",
+                crate::resources::MAX_THREADS
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates internal consistency.
+    ///
     /// # Panics
     ///
     /// Panics if any width or capacity is zero, or if `contexts` exceeds
     /// [`crate::MAX_THREADS`].
     pub fn validate(&self) {
-        assert!(self.fetch_width > 0, "fetch width must be nonzero");
-        assert!(self.fetch_threads_per_cycle > 0);
-        assert!(self.fetch_queue_size > 0);
-        assert!(self.dispatch_width > 0);
-        assert!(self.issue_width > 0);
-        assert!(self.commit_width > 0);
-        assert!(self.ruu_size > 0);
-        assert!(
-            (1..=self.ruu_size).contains(&self.ruu_per_thread_cap),
-            "per-thread RUU cap must be in 1..=ruu_size"
-        );
-        assert!(self.lsq_size > 0);
-        assert!(self.mem_ports > 0);
-        assert!(self.int_alus > 0);
-        assert!(self.issue_scan_depth > 0, "issue scan depth must be nonzero");
-        assert!(self.bpred_entries.is_power_of_two(), "bpred entries must be a power of two");
-        assert!(
-            (self.contexts as usize) <= crate::resources::MAX_THREADS,
-            "at most {} contexts supported",
-            crate::resources::MAX_THREADS
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 

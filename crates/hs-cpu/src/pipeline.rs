@@ -383,7 +383,10 @@ impl Cpu {
             }
         }
         // Drain committed tombstones past the ring head.
-        while matches!(self.ruu.front().map(|e| e.state), Some(EntryState::Committed)) {
+        while matches!(
+            self.ruu.front().map(|e| e.state),
+            Some(EntryState::Committed)
+        ) {
             self.ruu.pop_front();
             self.front_seq += 1;
         }
@@ -421,8 +424,11 @@ impl Cpu {
                 }
             }
             let e = &mut self.ruu[idx];
-            self.events
-                .add(tid, Resource::IntRegFile, u64::from(e.inst.int_reg_writes()));
+            self.events.add(
+                tid,
+                Resource::IntRegFile,
+                u64::from(e.inst.int_reg_writes()),
+            );
             self.events
                 .add(tid, Resource::FpRegFile, u64::from(e.inst.fp_reg_writes()));
             if let Some(taken) = e.branch_taken {
@@ -694,7 +700,9 @@ impl Cpu {
         // this entry's next_consumer links the producer's walk follows).
         for (slot, pseq) in producers.iter().flatten().enumerate() {
             let pidx = (pseq - self.front_seq) as usize;
-            let old_head = self.ruu[pidx].consumer_head.replace((seq << 1) | slot as u64);
+            let old_head = self.ruu[pidx]
+                .consumer_head
+                .replace((seq << 1) | slot as u64);
             let my_idx = (seq - self.front_seq) as usize;
             self.ruu[my_idx].next_consumer[slot] = old_head;
         }
@@ -731,11 +739,11 @@ impl Cpu {
         }
         let take = (self.cfg.fetch_threads_per_cycle as usize).min(ncand);
         let mut budget = self.cfg.fetch_width;
-        for k in 0..take {
+        for &ti in &candidates[..take] {
             if budget == 0 {
                 break;
             }
-            budget = self.fetch_thread(candidates[k], budget);
+            budget = self.fetch_thread(ti, budget);
         }
     }
 
@@ -918,7 +926,10 @@ mod tests {
         let reg = counts.get(t, Resource::IntRegFile);
         let committed = cpu.thread_stats(t).committed;
         // Each add reads 2 + writes 1 = 3 accesses.
-        assert!(reg >= committed * 2, "regfile {reg} vs committed {committed}");
+        assert!(
+            reg >= committed * 2,
+            "regfile {reg} vs committed {committed}"
+        );
     }
 
     #[test]
@@ -1027,10 +1038,7 @@ mod tests {
         run_cycles(&mut cpu, 1_000);
         let m = cpu.take_access_counts();
         assert!(m.resource_total(Resource::IntRegFile) > 0);
-        assert_eq!(
-            cpu.access_counts().resource_total(Resource::IntRegFile),
-            0
-        );
+        assert_eq!(cpu.access_counts().resource_total(Resource::IntRegFile), 0);
     }
 
     #[test]
@@ -1124,7 +1132,10 @@ mod policy_tests {
         let (fast_rr, slow_rr) = run(FetchPolicy::RoundRobin, 30_000);
         // Round-robin takes fetch share from the monopolizer and gives it
         // to the serial thread.
-        assert!(slow_rr >= slow_ic * 0.95, "rr slow {slow_rr:.2} vs ic {slow_ic:.2}");
+        assert!(
+            slow_rr >= slow_ic * 0.95,
+            "rr slow {slow_rr:.2} vs ic {slow_ic:.2}"
+        );
         assert!(
             fast_rr / slow_rr < fast_ic / slow_ic,
             "rr must narrow the ratio: {:.1} vs {:.1}",
@@ -1155,7 +1166,10 @@ mod policy_tests {
         }
         let ipc = cpu.thread_stats(t).ipc(20_000);
         assert!(ipc < 1.3, "one multiplier cannot sustain {ipc:.2} IPC");
-        assert!(ipc > 0.5, "multiplier should still be pipelined-ish: {ipc:.2}");
+        assert!(
+            ipc > 0.5,
+            "multiplier should still be pipelined-ish: {ipc:.2}"
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             if label.is_empty() || label.contains(char::is_whitespace) {
                 return Err(err(lineno, format!("malformed label {label:?}")));
             }
-            if labels.insert(label.to_string(), lines.len() as u32).is_some() {
+            if labels
+                .insert(label.to_string(), lines.len() as u32)
+                .is_some()
+            {
                 return Err(err(lineno, format!("duplicate label {label:?}")));
             }
             rest = tail[1..].trim();
@@ -383,19 +386,11 @@ mod tests {
     fn machine_semantics_match_builder_built_program() {
         // The same loop written in text and via the builder must produce
         // identical architectural results.
-        let text = assemble(
-            "loop:\n addl $1, $1, 1\n blt $1, 10, loop\n halt",
-        )
-        .unwrap();
+        let text = assemble("loop:\n addl $1, $1, 1\n blt $1, 10, loop\n halt").unwrap();
         let mut b = crate::ProgramBuilder::new();
         let top = b.label();
         b.addi(IntReg::new(1), IntReg::new(1), 1);
-        b.branch(
-            BranchCond::Lt,
-            IntReg::new(1),
-            Operand::Imm(10),
-            top,
-        );
+        b.branch(BranchCond::Lt, IntReg::new(1), Operand::Imm(10), top);
         b.halt();
         let built = b.build().unwrap();
 

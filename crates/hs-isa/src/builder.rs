@@ -149,7 +149,13 @@ impl ProgramBuilder {
     }
 
     /// Emits a conditional branch to `label`.
-    pub fn branch(&mut self, cond: BranchCond, rs1: IntReg, src2: Operand, label: Label) -> &mut Self {
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        rs1: IntReg,
+        src2: Operand,
+        label: Label,
+    ) -> &mut Self {
         // Encode the label index; patched to a real target in `build`.
         self.push(Instruction::new(Kind::Branch {
             cond,

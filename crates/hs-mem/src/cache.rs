@@ -97,16 +97,13 @@ impl SetAssocCache {
         }
 
         // Miss: pick victim = invalid way if any, else LRU.
-        let victim_idx = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .map(|(i, _)| i)
-                    .expect("set has at least one way")
-            });
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("set has at least one way")
+        });
         let victim = set[victim_idx];
         let writeback = if victim.valid && victim.dirty {
             let sets = self.geometry.sets();

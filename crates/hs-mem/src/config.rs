@@ -1,6 +1,6 @@
 //! Memory-hierarchy configuration (paper Table 1 defaults).
 
-use crate::geometry::CacheGeometry;
+use crate::geometry::{CacheGeometry, ParseGeometryError};
 
 /// Configuration of the full hierarchy.
 ///
@@ -52,6 +52,40 @@ impl MemConfig {
     #[must_use]
     pub fn worst_case_latency(&self) -> u32 {
         self.l1_latency + self.l2_latency + self.memory_latency
+    }
+
+    /// Validates cross-field consistency. (The geometries themselves are
+    /// validated at construction — [`CacheGeometry::new`] already returns
+    /// a `Result` — so this checks only what the type system cannot.)
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a zero latency or on L1/L2 line-size mismatch
+    /// (refills assume one L2 line holds a whole L1 line).
+    pub fn try_validate(&self) -> Result<(), ParseGeometryError> {
+        if self.l1_latency == 0 || self.l2_latency == 0 || self.memory_latency == 0 {
+            return Err(ParseGeometryError::new("every latency must be nonzero"));
+        }
+        if self.l1i.line_bytes() != self.l1d.line_bytes() {
+            return Err(ParseGeometryError::new("L1 i/d line sizes must match"));
+        }
+        if self.l2.line_bytes() < self.l1d.line_bytes() {
+            return Err(ParseGeometryError::new(
+                "L2 lines must be at least as large as L1 lines",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`Self::try_validate`] errors.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 

@@ -3,9 +3,18 @@
 use std::error::Error;
 use std::fmt;
 
-/// Error returned when a cache geometry is not realizable.
+/// Error returned when a cache geometry or memory configuration is not
+/// realizable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseGeometryError(String);
+
+impl ParseGeometryError {
+    /// Creates an error with the given description.
+    #[must_use]
+    pub fn new(reason: impl Into<String>) -> Self {
+        ParseGeometryError(reason.into())
+    }
+}
 
 impl fmt::Display for ParseGeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

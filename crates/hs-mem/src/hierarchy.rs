@@ -182,7 +182,9 @@ mod tests {
         let l1_stride = cfg.l1d.way_stride();
         // Fill one L1 set beyond capacity; all blocks stay in the larger L2
         // (its associativity is higher).
-        let addrs: Vec<u64> = (0..=cfg.l1d.assoc() as u64).map(|i| i * l1_stride).collect();
+        let addrs: Vec<u64> = (0..=cfg.l1d.assoc() as u64)
+            .map(|i| i * l1_stride)
+            .collect();
         for &a in &addrs {
             m.access(AccessKind::DataRead, a);
         }
@@ -259,7 +261,10 @@ mod prefetch_tests {
         let line = cfg.l1d.line_bytes();
         // First line misses and prefetches the second.
         assert!(!m.access(AccessKind::DataRead, 0).l1_hit);
-        assert!(m.access(AccessKind::DataRead, line).l1_hit, "next line prefetched");
+        assert!(
+            m.access(AccessKind::DataRead, line).l1_hit,
+            "next line prefetched"
+        );
         assert!(m.prefetches() >= 1);
     }
 

@@ -1,8 +1,8 @@
 //! Turning access counts into block powers.
 
 use crate::energy::{resource_block, EnergyTable};
-use hs_cpu::{AccessMatrix, ALL_RESOURCES, MAX_THREADS};
 use hs_cpu::ThreadId;
+use hs_cpu::{AccessMatrix, ALL_RESOURCES, MAX_THREADS};
 use hs_thermal::PowerVector;
 
 /// The activity-based power model.
@@ -69,7 +69,12 @@ impl PowerModel {
     /// Dynamic power a single resource would dissipate at `rate` accesses
     /// per cycle at `freq_hz` — convenient for calibration math.
     #[must_use]
-    pub fn dynamic_power_at_rate(&self, resource: hs_cpu::Resource, rate: f64, freq_hz: f64) -> f64 {
+    pub fn dynamic_power_at_rate(
+        &self,
+        resource: hs_cpu::Resource,
+        rate: f64,
+        freq_hz: f64,
+    ) -> f64 {
         self.table.energy(resource) * rate * freq_hz
     }
 }

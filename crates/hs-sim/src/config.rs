@@ -1,10 +1,12 @@
 //! Whole-simulation configuration.
 
-use hs_core::{RateCapConfig, SedationConfig};
-use hs_cpu::CpuConfig;
+use hs_core::{
+    ConfigError, CounterFaultPlan, FailsafeConfig, GuardConfig, RateCapConfig, SedationConfig,
+};
+use hs_cpu::{CpuConfig, Resource};
 use hs_mem::MemConfig;
-use hs_power::EnergyTable;
-use hs_thermal::{SensorConfig, ThermalConfig};
+use hs_power::{EnergyTable, PowerModel};
+use hs_thermal::{Block, SensorConfig, SensorFaultPlan, ThermalConfig, NUM_BLOCKS};
 
 /// Which DTM mechanism supervises the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -20,6 +22,10 @@ pub enum PolicyKind {
     RateCap,
     /// The paper's contribution.
     SelectiveSedation,
+    /// Selective sedation hardened against sensor/counter faults: voted
+    /// readings, per-sensor health tracking, and a worst-case stop-and-go
+    /// fallback (see `hs_core::FaultTolerantDtm`).
+    FaultTolerant,
 }
 
 impl PolicyKind {
@@ -32,7 +38,38 @@ impl PolicyKind {
             PolicyKind::GlobalDvfs => "global-dvfs",
             PolicyKind::RateCap => "rate-cap",
             PolicyKind::SelectiveSedation => "sedation",
+            PolicyKind::FaultTolerant => "failsafe",
         }
+    }
+}
+
+/// Fault-injection schedules for one run. Empty by default; an empty
+/// configuration leaves the simulator bit-identical to a fault-free build.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultConfig {
+    /// Faults injected into the per-block temperature sensors.
+    pub sensors: SensorFaultPlan,
+    /// Faults injected into the per-thread access counters.
+    pub counters: CounterFaultPlan,
+}
+
+impl FaultConfig {
+    /// No faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether both schedules are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty() && self.counters.is_empty()
+    }
+
+    /// Total number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sensors.len() + self.counters.len()
     }
 }
 
@@ -77,6 +114,8 @@ pub struct SimConfig {
     /// Parameters for the rate-cap strawman policy (only used with
     /// [`PolicyKind::RateCap`]; time-scaled).
     pub rate_cap: RateCapConfig,
+    /// Fault-injection schedules (empty by default).
+    pub faults: FaultConfig,
     /// The time-scale factor this configuration was derived with.
     pub time_scale: f64,
 }
@@ -98,6 +137,7 @@ impl SimConfig {
             sensor_interval_cycles: 20_000,
             sensors: SensorConfig::default(),
             rate_cap: RateCapConfig::default(),
+            faults: FaultConfig::none(),
             time_scale: 1.0,
         }
     }
@@ -138,26 +178,91 @@ impl SimConfig {
 
     /// Validates cross-field consistency.
     ///
+    /// # Errors
+    ///
+    /// Returns an error if any sub-configuration is invalid, if the sensor
+    /// interval is not a multiple of the monitor sampling period, or if the
+    /// quantum is shorter than one sensor interval.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        self.cpu
+            .try_validate()
+            .map_err(|e| ConfigError::new("cpu", e))?;
+        self.mem
+            .try_validate()
+            .map_err(|e| ConfigError::new("mem", e.to_string()))?;
+        self.sedation.try_validate()?;
+        self.sensors.try_validate()?;
+        self.rate_cap.try_validate()?;
+        if self.freq_hz.is_nan() || self.freq_hz <= 0.0 {
+            return Err(ConfigError::new("freq_hz", "frequency must be positive"));
+        }
+        if !self
+            .sensor_interval_cycles
+            .is_multiple_of(self.sedation.sample_period_cycles)
+        {
+            return Err(ConfigError::new(
+                "sensor_interval_cycles",
+                format!(
+                    "sensor interval ({}) must be a multiple of the monitor period ({})",
+                    self.sensor_interval_cycles, self.sedation.sample_period_cycles
+                ),
+            ));
+        }
+        if self.quantum_cycles < self.sensor_interval_cycles {
+            return Err(ConfigError::new(
+                "quantum_cycles",
+                "quantum shorter than one sensor interval",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates cross-field consistency.
+    ///
     /// # Panics
     ///
     /// Panics if any sub-configuration is invalid, if the sensor interval
     /// is not a multiple of the monitor sampling period, or if the quantum
     /// is shorter than one sensor interval.
     pub fn validate(&self) {
-        self.cpu.validate();
-        self.sedation.validate();
-        self.sensors.validate();
-        assert!(self.freq_hz > 0.0, "frequency must be positive");
-        assert!(
-            self.sensor_interval_cycles % self.sedation.sample_period_cycles == 0,
-            "sensor interval ({}) must be a multiple of the monitor period ({})",
-            self.sensor_interval_cycles,
-            self.sedation.sample_period_cycles
-        );
-        assert!(
-            self.quantum_cycles >= self.sensor_interval_cycles,
-            "quantum shorter than one sensor interval"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Derives the fault-tolerant DTM configuration from this simulation's
+    /// physical constants, so the failsafe's worst-case bounds track the
+    /// thermal model (including any time scaling) instead of being
+    /// hand-tuned.
+    ///
+    /// * The worst-case heating rate assumes every register-file port
+    ///   switches every cycle (16 accesses/cycle — above anything the
+    ///   pipeline can sustain), over the smallest, hottest block.
+    /// * The guaranteed cooling rate takes the conservative
+    ///   `ThermalConfig::min_cooling_rate` at the normal-to-ambient
+    ///   gradient.
+    /// * The guard's per-update rate bound is twice the worst-case
+    ///   per-update temperature step.
+    #[must_use]
+    pub fn failsafe(&self) -> FailsafeConfig {
+        let model = PowerModel::new(self.energy);
+        let area = Block::IntReg.area_m2();
+        let worst_watts = model.dynamic_power_at_rate(Resource::IntRegFile, 16.0, self.freq_hz)
+            + self.energy.idle(Block::IntReg);
+        let heat_rate_k_per_cycle = self.thermal.max_heating_rate(area, worst_watts) / self.freq_hz;
+        let gradient = (self.sedation.thresholds.normal_k - self.thermal.ambient_k).max(1.0);
+        let cool_rate_k_per_cycle = self.thermal.min_cooling_rate(area, gradient) / self.freq_hz;
+        let step_k = heat_rate_k_per_cycle * self.sensor_interval_cycles as f64;
+        FailsafeConfig {
+            sedation: self.sedation,
+            guard: GuardConfig {
+                max_step_k: (2.0 * step_k).max(1.0),
+                ..GuardConfig::default()
+            },
+            heat_rate_k_per_cycle,
+            cool_rate_k_per_cycle,
+            quorum: NUM_BLOCKS / 2 + 1,
+        }
     }
 }
 
@@ -189,7 +294,7 @@ mod tests {
         assert_eq!(c.quantum_cycles, 20_000_000);
         assert_eq!(c.sensor_interval_cycles, 800);
         assert_eq!(c.sedation.sample_period_cycles, 50); // clamped minimum
-        // Quantum / cooling-time ratio preserved.
+                                                         // Quantum / cooling-time ratio preserved.
         let paper = SimConfig::paper();
         let r_paper = paper.quantum_cycles as f64 / paper.sedation.cooling_time_cycles as f64;
         let r_scaled = c.quantum_cycles as f64 / c.sedation.cooling_time_cycles as f64;

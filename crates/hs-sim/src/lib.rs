@@ -51,7 +51,7 @@ pub mod runner;
 pub mod simulator;
 pub mod stats;
 
-pub use config::{HeatSink, PolicyKind, SimConfig};
+pub use config::{FaultConfig, HeatSink, PolicyKind, SimConfig};
 pub use os::{OsScheduler, ScheduleOutcome, SchedulerConfig};
 pub use runner::RunSpec;
 pub use simulator::Simulator;

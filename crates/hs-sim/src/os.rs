@@ -126,12 +126,7 @@ pub struct OsScheduler {
 impl OsScheduler {
     /// Creates a scheduler with no threads.
     #[must_use]
-    pub fn new(
-        cfg: SimConfig,
-        policy: PolicyKind,
-        sink: HeatSink,
-        sched: SchedulerConfig,
-    ) -> Self {
+    pub fn new(cfg: SimConfig, policy: PolicyKind, sink: HeatSink, sched: SchedulerConfig) -> Self {
         cfg.validate();
         OsScheduler {
             cfg,
@@ -202,13 +197,11 @@ impl OsScheduler {
                     .reports
                     .iter()
                     .filter(|r| {
-                        r.kind == ReportKind::Sedated
-                            && r.thread.map(|id| id.index()) == Some(hw)
+                        r.kind == ReportKind::Sedated && r.thread.map(|id| id.index()) == Some(hw)
                     })
                     .count() as u64;
                 t.offenses += offenses;
-                if self.sched.respond_to_reports && t.offenses >= self.sched.offense_threshold
-                {
+                if self.sched.respond_to_reports && t.offenses >= self.sched.offense_threshold {
                     t.suspended = true;
                 }
             }

@@ -102,7 +102,10 @@ mod tests {
         let t = stats.thread(0);
         assert!(t.ipc > 0.1, "ipc {}", t.ipc);
         assert!(t.int_regfile_rate > 0.1);
-        assert_eq!(t.breakdown.sedated_cycles, 0, "solo threads are never sedated");
+        assert_eq!(
+            t.breakdown.sedated_cycles, 0,
+            "solo threads are never sedated"
+        );
         assert_eq!(t.breakdown.total(), stats.cycles);
         assert_eq!(stats.policy, "stop-and-go");
     }

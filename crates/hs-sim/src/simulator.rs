@@ -3,8 +3,8 @@
 use crate::config::{HeatSink, PolicyKind, SimConfig};
 use crate::stats::{SimStats, ThreadBreakdown, ThreadSummary};
 use hs_core::{
-    BlockCounts, DtmInput, GlobalDvfs, NoDtm, RateCap, ReportKind, SelectiveSedation,
-    StopAndGo, ThermalPolicy,
+    BlockCounts, DtmInput, FaultTolerantDtm, GlobalDvfs, NoDtm, RateCap, ReportKind,
+    SelectiveSedation, StopAndGo, ThermalPolicy, ALL_SENSORS_VALID,
 };
 use hs_cpu::pipeline::FetchGate;
 use hs_cpu::{AccessMatrix, Cpu, Resource, ThreadId, ALL_RESOURCES};
@@ -46,11 +46,13 @@ impl Simulator {
             PolicyKind::None => Box::new(NoDtm::new()),
             PolicyKind::StopAndGo => Box::new(StopAndGo::new(cfg.sedation.thresholds)),
             PolicyKind::GlobalDvfs => Box::new(GlobalDvfs::new(cfg.sedation.thresholds, 2)),
-            PolicyKind::RateCap => {
-                Box::new(RateCap::new(cfg.rate_cap, cfg.cpu.contexts as usize))
-            }
+            PolicyKind::RateCap => Box::new(RateCap::new(cfg.rate_cap, cfg.cpu.contexts as usize)),
             PolicyKind::SelectiveSedation => Box::new(SelectiveSedation::new(
                 cfg.sedation,
+                cfg.cpu.contexts as usize,
+            )),
+            PolicyKind::FaultTolerant => Box::new(FaultTolerantDtm::new(
+                cfg.failsafe(),
                 cfg.cpu.contexts as usize,
             )),
         };
@@ -59,7 +61,7 @@ impl Simulator {
             cpu,
             model,
             thermal,
-            sensors: SensorBank::new(cfg.sensors),
+            sensors: SensorBank::with_faults(cfg.sensors, cfg.faults.sensors),
             policy,
             names: Vec::new(),
         }
@@ -127,6 +129,7 @@ impl Simulator {
         let mut peak_temps = temps;
         let mut above_emergency = [false; NUM_BLOCKS];
         let mut emergencies = 0u64;
+        let mut sensor_valid = ALL_SENSORS_VALID;
 
         for cycle in 1..=quantum {
             if global_stall {
@@ -151,9 +154,9 @@ impl Simulator {
             // Monitor sampling instant.
             let counts = self.cpu.take_access_counts();
             let mut block_counts = BlockCounts::new();
-            for t in 0..nthreads {
+            for (t, regfile_acc) in regfile_accesses.iter_mut().enumerate().take(nthreads) {
                 let tid = ThreadId(t as u8);
-                regfile_accesses[t] += counts.get(tid, Resource::IntRegFile);
+                *regfile_acc += counts.get(tid, Resource::IntRegFile);
                 for r in ALL_RESOURCES {
                     let n = counts.get(tid, r);
                     if n > 0 {
@@ -162,15 +165,25 @@ impl Simulator {
                 }
             }
             power_accum.merge(&counts);
+            // Counter faults corrupt what the monitors see; the power model
+            // above integrates the *true* activity (heat does not care what
+            // a broken counter reports).
+            self.cfg
+                .faults
+                .counters
+                .apply(cycle, sample, &mut block_counts);
 
-            if cycle % sensor == 0 {
+            let sensor_fresh = cycle % sensor == 0;
+            if sensor_fresh {
                 if let Some(net) = &mut self.thermal {
                     let power = self.model.power(&power_accum, sensor, self.cfg.freq_hz);
                     power_accum.clear();
                     net.step(sensor_dt, &power);
                     // Policies see sensor *readings*; the emergency count
                     // and peaks below track physical truth.
-                    temps = self.sensors.read(net);
+                    let frame = self.sensors.read_at(cycle, net);
+                    temps = frame.values;
+                    sensor_valid = frame.valid;
                     let truth = net.block_temps();
                     for b in ALL_BLOCKS {
                         let i = b.index();
@@ -189,6 +202,8 @@ impl Simulator {
             let decision = self.policy.on_sample(&DtmInput {
                 cycle,
                 block_temps: &temps,
+                sensor_valid: &sensor_valid,
+                sensor_fresh,
                 counts: &block_counts,
                 global_stalled: global_stall,
             });
@@ -210,9 +225,7 @@ impl Simulator {
                     breakdown: breakdowns[t],
                     sedations: reports
                         .iter()
-                        .filter(|r| {
-                            r.kind == ReportKind::Sedated && r.thread == Some(tid)
-                        })
+                        .filter(|r| r.kind == ReportKind::Sedated && r.thread == Some(tid))
                         .count() as u64,
                 }
             })

@@ -102,7 +102,17 @@ impl SimStats {
     /// Peak temperature across all blocks (K).
     #[must_use]
     pub fn peak_temp(&self) -> f64 {
-        self.peak_temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.peak_temps
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Number of OS reports of one kind (e.g. sensor-health transitions or
+    /// failsafe mode changes during a fault-injection run).
+    #[must_use]
+    pub fn count_kind(&self, kind: hs_core::ReportKind) -> usize {
+        self.reports.iter().filter(|r| r.kind == kind).count()
     }
 }
 

@@ -11,9 +11,30 @@ fn headline_shape() {
 
     let solo_ideal = RunSpec::solo(gcc, PolicyKind::None, HeatSink::Ideal, cfg).run();
     let solo_real = RunSpec::solo(gcc, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).run();
-    let attack_ideal = RunSpec::pair(gcc, Workload::Variant2, PolicyKind::None, HeatSink::Ideal, cfg).run();
-    let attack_sg = RunSpec::pair(gcc, Workload::Variant2, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).run();
-    let attack_sed = RunSpec::pair(gcc, Workload::Variant2, PolicyKind::SelectiveSedation, HeatSink::Realistic, cfg).run();
+    let attack_ideal = RunSpec::pair(
+        gcc,
+        Workload::Variant2,
+        PolicyKind::None,
+        HeatSink::Ideal,
+        cfg,
+    )
+    .run();
+    let attack_sg = RunSpec::pair(
+        gcc,
+        Workload::Variant2,
+        PolicyKind::StopAndGo,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
+    let attack_sed = RunSpec::pair(
+        gcc,
+        Workload::Variant2,
+        PolicyKind::SelectiveSedation,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
 
     let p = |label: &str, s: &hs_sim::SimStats| {
         for t in &s.threads {
@@ -21,7 +42,11 @@ fn headline_shape() {
                 t.name, t.ipc, t.int_regfile_rate, t.breakdown.normal_fraction(),
                 t.breakdown.stall_fraction(), t.breakdown.sedated_fraction(), t.sedations);
         }
-        println!("{label:>22} emergencies {} peak {:.2} K", s.emergencies, s.peak_temp());
+        println!(
+            "{label:>22} emergencies {} peak {:.2} K",
+            s.emergencies,
+            s.peak_temp()
+        );
     };
     p("solo ideal", &solo_ideal);
     p("solo realistic", &solo_real);
@@ -32,9 +57,23 @@ fn headline_shape() {
     let base = solo_real.thread(0).ipc;
     let under_attack = attack_sg.thread(0).ipc;
     let defended = attack_sed.thread(0).ipc;
-    println!("degradation: {:.1}%  restored: {:.1}%", 100.0*(1.0-under_attack/base), 100.0*defended/base);
+    println!(
+        "degradation: {:.1}%  restored: {:.1}%",
+        100.0 * (1.0 - under_attack / base),
+        100.0 * defended / base
+    );
 
-    assert!(attack_sg.emergencies >= 4, "stop-and-go emergencies {}", attack_sg.emergencies);
-    assert!(under_attack < 0.6 * base, "attack must degrade victim (got {under_attack:.2} vs {base:.2})");
-    assert!(defended > 0.8 * base, "sedation must restore victim ({defended:.2} vs {base:.2})");
+    assert!(
+        attack_sg.emergencies >= 4,
+        "stop-and-go emergencies {}",
+        attack_sg.emergencies
+    );
+    assert!(
+        under_attack < 0.6 * base,
+        "attack must degrade victim (got {under_attack:.2} vs {base:.2})"
+    );
+    assert!(
+        defended > 0.8 * base,
+        "sedation must restore victim ({defended:.2} vs {base:.2})"
+    );
 }

@@ -1,5 +1,41 @@
 //! Physical and packaging parameters of the thermal model.
 
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a thermal/sensor configuration is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: &'static str,
+    reason: &'static str,
+}
+
+impl ConfigError {
+    /// Creates an error for `field`.
+    #[must_use]
+    pub fn new(field: &'static str, reason: &'static str) -> Self {
+        ConfigError { field, reason }
+    }
+
+    /// The offending field.
+    #[must_use]
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid thermal config `{}`: {}",
+            self.field, self.reason
+        )
+    }
+}
+
+impl Error for ConfigError {}
+
 /// Thermal model configuration.
 ///
 /// Defaults correspond to the paper's Table 1 packaging ("air-cooled, high
@@ -64,26 +100,80 @@ impl Default for ThermalConfig {
 impl ThermalConfig {
     /// Returns a copy with every thermal time constant divided by `factor`.
     ///
+    /// # Errors
+    ///
+    /// Returns an error if `factor` is not strictly positive and finite.
+    pub fn try_with_time_scale(mut self, factor: f64) -> Result<Self, ConfigError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(ConfigError::new(
+                "time_scale",
+                "time scale must be positive and finite",
+            ));
+        }
+        self.time_scale = factor;
+        Ok(self)
+    }
+
+    /// Returns a copy with every thermal time constant divided by `factor`.
+    ///
     /// # Panics
     ///
     /// Panics if `factor` is not strictly positive and finite.
     #[must_use]
-    pub fn with_time_scale(mut self, factor: f64) -> Self {
-        assert!(
-            factor.is_finite() && factor > 0.0,
-            "time scale must be positive and finite"
-        );
-        self.time_scale = factor;
-        self
+    pub fn with_time_scale(self, factor: f64) -> Self {
+        self.try_with_time_scale(factor)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Returns a copy with a different convection resistance (the packaging
     /// sweep of the paper's §5.5).
-    #[must_use]
-    pub fn with_convection_resistance(mut self, r: f64) -> Self {
-        assert!(r.is_finite() && r > 0.0, "resistance must be positive");
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `r` is not strictly positive and finite.
+    pub fn try_with_convection_resistance(mut self, r: f64) -> Result<Self, ConfigError> {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(ConfigError::new(
+                "convection_resistance",
+                "resistance must be positive",
+            ));
+        }
         self.convection_resistance = r;
-        self
+        Ok(self)
+    }
+
+    /// Returns a copy with a different convection resistance (the packaging
+    /// sweep of the paper's §5.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_convection_resistance(self, r: f64) -> Self {
+        self.try_with_convection_resistance(r)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Worst-case heating rate (K/s) of a block of `area` m² absorbing
+    /// `watts` of power with no heat removal at all: `P / C_block`. This is
+    /// a strict upper bound on any physically realizable dT/dt in the
+    /// model, and is what the fault-tolerant monitor uses as its
+    /// plausibility bound (a reading that jumps faster than this is lying).
+    #[must_use]
+    pub fn max_heating_rate(&self, area: f64, watts: f64) -> f64 {
+        watts / self.block_capacitance(area)
+    }
+
+    /// A conservative lower bound on the cooling rate (K/s) of a block of
+    /// `area` m² that sits `delta_k` above its surroundings: only the
+    /// vertical path is counted, at one quarter strength (lateral spread,
+    /// spreader heating and re-heating from neighbours all slow real
+    /// cooling). The failsafe's worst-case temperature estimate decays at
+    /// this rate while the pipeline is stalled, guaranteeing the estimate
+    /// stays above the true temperature.
+    #[must_use]
+    pub fn min_cooling_rate(&self, area: f64, delta_k: f64) -> f64 {
+        0.25 * self.vertical_conductance(area) * delta_k / self.block_capacitance(area)
     }
 
     /// Vertical conductance (W/K) from a block of `area` m² through half

@@ -42,12 +42,16 @@
 
 pub mod block;
 pub mod config;
+pub mod faults;
 pub mod network;
 pub mod power_vector;
+pub mod rng;
 pub mod sensors;
 
 pub use block::{Block, ALL_BLOCKS, NUM_BLOCKS};
-pub use config::ThermalConfig;
+pub use config::{ConfigError, ThermalConfig};
+pub use faults::{SensorFault, SensorFaultKind, SensorFaultPlan, SensorFrame, MAX_SENSOR_FAULTS};
 pub use network::ThermalNetwork;
 pub use power_vector::PowerVector;
+pub use rng::XorShift64;
 pub use sensors::{SensorBank, SensorConfig};

@@ -44,7 +44,11 @@ impl ThermalNetwork {
         let mut edges = Vec::new();
         // Vertical: block -> spreader.
         for b in ALL_BLOCKS {
-            edges.push((b.index(), SPREADER, config.vertical_conductance(b.area_m2())));
+            edges.push((
+                b.index(),
+                SPREADER,
+                config.vertical_conductance(b.area_m2()),
+            ));
         }
         // Lateral: adjacent blocks.
         for &(a, b) in Block::adjacency() {
@@ -148,8 +152,8 @@ impl ThermalNetwork {
             flow[j] += q;
         }
         flow[SINK] += self.g_ambient * (self.config.ambient_k - self.temps[SINK]);
-        for i in 0..NUM_NODES {
-            self.temps[i] += h * flow[i] / self.caps[i];
+        for ((t, f), c) in self.temps.iter_mut().zip(&flow).zip(&self.caps) {
+            *t += h * f / c;
         }
     }
 
@@ -202,8 +206,12 @@ impl ThermalNetwork {
                 if factor == 0.0 {
                     continue;
                 }
-                for k in col..n {
-                    g[row][k] -= factor * g[col][k];
+                let (pivot_rows, target_rows) = g.split_at_mut(row);
+                for (t, p) in target_rows[0][col..]
+                    .iter_mut()
+                    .zip(&pivot_rows[col][col..])
+                {
+                    *t -= factor * p;
                 }
                 rhs[row] -= factor * rhs[col];
             }

@@ -107,7 +107,10 @@ const DATA_BASE: u64 = 0x100_0000;
 /// that is not a power of two.
 #[must_use]
 pub fn build_program(spec: &WorkloadSpec) -> Program {
-    assert!(!spec.segments.is_empty(), "workload needs at least one segment");
+    assert!(
+        !spec.segments.is_empty(),
+        "workload needs at least one segment"
+    );
     let mut b = ProgramBuilder::new();
     // Constants.
     b.load_imm(IntReg::new(CONST_SRC), 7);
@@ -121,7 +124,8 @@ pub fn build_program(spec: &WorkloadSpec) -> Program {
         emit_segment(&mut b, seg);
     }
     b.jump(outer);
-    b.build().expect("generated programs always have bound labels")
+    b.build()
+        .expect("generated programs always have bound labels")
 }
 
 fn emit_segment(b: &mut ProgramBuilder, seg: &Segment) {
@@ -193,7 +197,11 @@ fn emit_mem_scan(b: &mut ProgramBuilder, loads: u32, stride: u64, region_bytes: 
     let unroll: u32 = 4;
     let iters = (loads / unroll).max(1);
     let big = region_bytes > BIG_SCAN_REGION;
-    let off = IntReg::new(if big { SCRATCH_SCAN_OFF_BIG } else { SCRATCH_SCAN_OFF });
+    let off = IntReg::new(if big {
+        SCRATCH_SCAN_OFF_BIG
+    } else {
+        SCRATCH_SCAN_OFF
+    });
     // Cache-resident scans live 64 MB away from the Mixed working set;
     // memory-bound scans another 128 MB beyond that, so neither interferes.
     let base_offset: i64 = if big { 192 << 20 } else { 64 << 20 };
@@ -255,7 +263,12 @@ fn emit_mixed(b: &mut ProgramBuilder, iters: u32, ilp: u8, region_bytes: u64, to
             let skip = b.forward_label();
             b.int_alu(AluOp::Xor, toggle, toggle, Operand::Imm(1));
             b.branch(BranchCond::Eq, toggle, Operand::Imm(0), skip);
-            b.int_alu(AluOp::Add, IntReg::new(13), IntReg::new(13), Operand::Imm(1));
+            b.int_alu(
+                AluOp::Add,
+                IntReg::new(13),
+                IntReg::new(13),
+                Operand::Imm(1),
+            );
             b.bind(skip);
             b.nop();
         }
@@ -322,8 +335,7 @@ mod tests {
         let s0 = set_of(addrs[0]);
         assert!(addrs.iter().all(|&a| set_of(a) == s0));
         // And at least 9 distinct tags (blocks).
-        let tags: std::collections::HashSet<u64> =
-            addrs.iter().map(|&a| a / way_stride).collect();
+        let tags: std::collections::HashSet<u64> = addrs.iter().map(|&a| a / way_stride).collect();
         assert!(tags.len() >= 9);
     }
 

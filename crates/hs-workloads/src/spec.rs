@@ -98,77 +98,220 @@ impl SpecWorkload {
         let segments = match self {
             // FP solvers: fp bursts + streaming scans over big arrays.
             SpecWorkload::Applu => vec![
-                Segment::FpBurst { insts: 4800, ilp: 2 },
-                Segment::MemScan { loads: 600, stride: 64, region_bytes: 512 * KB },
-                Segment::Mixed { iters: 200, ilp: 4, region_bytes: 64 * KB, toggle_branch: false },
+                Segment::FpBurst {
+                    insts: 4800,
+                    ilp: 2,
+                },
+                Segment::MemScan {
+                    loads: 600,
+                    stride: 64,
+                    region_bytes: 512 * KB,
+                },
+                Segment::Mixed {
+                    iters: 200,
+                    ilp: 4,
+                    region_bytes: 64 * KB,
+                    toggle_branch: false,
+                },
             ],
             SpecWorkload::Apsi => vec![
-                Segment::FpBurst { insts: 3600, ilp: 2 },
-                Segment::Mixed { iters: 400, ilp: 3, region_bytes: 128 * KB, toggle_branch: false },
+                Segment::FpBurst {
+                    insts: 3600,
+                    ilp: 2,
+                },
+                Segment::Mixed {
+                    iters: 400,
+                    ilp: 3,
+                    region_bytes: 128 * KB,
+                    toggle_branch: false,
+                },
             ],
             // art: sustained low-ILP integer hammering — the hottest
             // "innocent" benchmark (inherent power-density problem).
             SpecWorkload::Art => vec![
-                Segment::IntBurst { insts: 20000, ilp: 2 },
-                Segment::MemScan { loads: 50, stride: 64, region_bytes: 256 * KB },
+                Segment::IntBurst {
+                    insts: 20000,
+                    ilp: 2,
+                },
+                Segment::MemScan {
+                    loads: 50,
+                    stride: 64,
+                    region_bytes: 256 * KB,
+                },
             ],
             SpecWorkload::Bzip2 => vec![
-                Segment::Mixed { iters: 700, ilp: 4, region_bytes: 32 * KB, toggle_branch: false },
-                Segment::Mixed { iters: 300, ilp: 4, region_bytes: 128 * KB, toggle_branch: false },
+                Segment::Mixed {
+                    iters: 700,
+                    ilp: 4,
+                    region_bytes: 32 * KB,
+                    toggle_branch: false,
+                },
+                Segment::Mixed {
+                    iters: 300,
+                    ilp: 4,
+                    region_bytes: 128 * KB,
+                    toggle_branch: false,
+                },
             ],
             // crafty: hot integer benchmark with mispredicting branches.
             SpecWorkload::Crafty => vec![
-                Segment::IntBurst { insts: 9600, ilp: 3 },
-                Segment::Mixed { iters: 400, ilp: 3, region_bytes: 64 * KB, toggle_branch: true },
+                Segment::IntBurst {
+                    insts: 9600,
+                    ilp: 3,
+                },
+                Segment::Mixed {
+                    iters: 400,
+                    ilp: 3,
+                    region_bytes: 64 * KB,
+                    toggle_branch: true,
+                },
             ],
             SpecWorkload::Eon => vec![
-                Segment::Mixed { iters: 600, ilp: 6, region_bytes: 32 * KB, toggle_branch: false },
-                Segment::FpBurst { insts: 3600, ilp: 4 },
+                Segment::Mixed {
+                    iters: 600,
+                    ilp: 6,
+                    region_bytes: 32 * KB,
+                    toggle_branch: false,
+                },
+                Segment::FpBurst {
+                    insts: 3600,
+                    ilp: 4,
+                },
             ],
             SpecWorkload::Gap => vec![
-                Segment::Mixed { iters: 500, ilp: 4, region_bytes: 32 * KB, toggle_branch: false },
-                Segment::Mixed { iters: 400, ilp: 4, region_bytes: 128 * KB, toggle_branch: false },
+                Segment::Mixed {
+                    iters: 500,
+                    ilp: 4,
+                    region_bytes: 32 * KB,
+                    toggle_branch: false,
+                },
+                Segment::Mixed {
+                    iters: 400,
+                    ilp: 4,
+                    region_bytes: 128 * KB,
+                    toggle_branch: false,
+                },
             ],
             SpecWorkload::Gcc => vec![
-                Segment::Mixed { iters: 1000, ilp: 3, region_bytes: 64 * KB, toggle_branch: true },
-                Segment::MemScan { loads: 20, stride: 64, region_bytes: 4 * MB },
+                Segment::Mixed {
+                    iters: 1000,
+                    ilp: 3,
+                    region_bytes: 64 * KB,
+                    toggle_branch: true,
+                },
+                Segment::MemScan {
+                    loads: 20,
+                    stride: 64,
+                    region_bytes: 4 * MB,
+                },
             ],
             // gzip: high-ILP integer compression loops — hot-ish.
             SpecWorkload::Gzip => vec![
-                Segment::IntBurst { insts: 3600, ilp: 6 },
-                Segment::Mixed { iters: 500, ilp: 5, region_bytes: 32 * KB, toggle_branch: false },
+                Segment::IntBurst {
+                    insts: 3600,
+                    ilp: 6,
+                },
+                Segment::Mixed {
+                    iters: 500,
+                    ilp: 5,
+                    region_bytes: 32 * KB,
+                    toggle_branch: false,
+                },
             ],
             SpecWorkload::Lucas => vec![
-                Segment::FpBurst { insts: 2400, ilp: 2 },
-                Segment::MemScan { loads: 400, stride: 64, region_bytes: 256 * KB },
-                Segment::Mixed { iters: 200, ilp: 2, region_bytes: 256 * KB, toggle_branch: false },
+                Segment::FpBurst {
+                    insts: 2400,
+                    ilp: 2,
+                },
+                Segment::MemScan {
+                    loads: 400,
+                    stride: 64,
+                    region_bytes: 256 * KB,
+                },
+                Segment::Mixed {
+                    iters: 200,
+                    ilp: 2,
+                    region_bytes: 256 * KB,
+                    toggle_branch: false,
+                },
             ],
             // mcf: pointer chasing over a >L2 working set; IPC collapses.
             SpecWorkload::Mcf => vec![
-                Segment::MemScan { loads: 60, stride: 64, region_bytes: 16 * MB },
-                Segment::Mixed { iters: 800, ilp: 2, region_bytes: 512 * KB, toggle_branch: true },
+                Segment::MemScan {
+                    loads: 60,
+                    stride: 64,
+                    region_bytes: 16 * MB,
+                },
+                Segment::Mixed {
+                    iters: 800,
+                    ilp: 2,
+                    region_bytes: 512 * KB,
+                    toggle_branch: true,
+                },
             ],
             SpecWorkload::Mesa => vec![
-                Segment::Mixed { iters: 600, ilp: 5, region_bytes: 32 * KB, toggle_branch: false },
-                Segment::FpBurst { insts: 2400, ilp: 5 },
+                Segment::Mixed {
+                    iters: 600,
+                    ilp: 5,
+                    region_bytes: 32 * KB,
+                    toggle_branch: false,
+                },
+                Segment::FpBurst {
+                    insts: 2400,
+                    ilp: 5,
+                },
             ],
             SpecWorkload::Parser => vec![
-                Segment::Mixed { iters: 800, ilp: 2, region_bytes: 128 * KB, toggle_branch: true },
+                Segment::Mixed {
+                    iters: 800,
+                    ilp: 2,
+                    region_bytes: 128 * KB,
+                    toggle_branch: true,
+                },
                 Segment::IntBurst { insts: 960, ilp: 2 },
             ],
             SpecWorkload::Swim => vec![
-                Segment::FpBurst { insts: 2400, ilp: 6 },
-                Segment::MemScan { loads: 500, stride: 64, region_bytes: 512 * KB },
-                Segment::MemScan { loads: 30, stride: 64, region_bytes: 8 * MB },
+                Segment::FpBurst {
+                    insts: 2400,
+                    ilp: 6,
+                },
+                Segment::MemScan {
+                    loads: 500,
+                    stride: 64,
+                    region_bytes: 512 * KB,
+                },
+                Segment::MemScan {
+                    loads: 30,
+                    stride: 64,
+                    region_bytes: 8 * MB,
+                },
             ],
             SpecWorkload::Twolf => vec![
-                Segment::Mixed { iters: 500, ilp: 2, region_bytes: 64 * KB, toggle_branch: true },
-                Segment::Mixed { iters: 400, ilp: 2, region_bytes: 256 * KB, toggle_branch: true },
+                Segment::Mixed {
+                    iters: 500,
+                    ilp: 2,
+                    region_bytes: 64 * KB,
+                    toggle_branch: true,
+                },
+                Segment::Mixed {
+                    iters: 400,
+                    ilp: 2,
+                    region_bytes: 256 * KB,
+                    toggle_branch: true,
+                },
             ],
             // vortex: integer, hot-ish.
             SpecWorkload::Vortex => vec![
-                Segment::IntBurst { insts: 9600, ilp: 4 },
-                Segment::Mixed { iters: 400, ilp: 4, region_bytes: 64 * KB, toggle_branch: false },
+                Segment::IntBurst {
+                    insts: 9600,
+                    ilp: 4,
+                },
+                Segment::Mixed {
+                    iters: 400,
+                    ilp: 4,
+                    region_bytes: 64 * KB,
+                    toggle_branch: false,
+                },
             ],
         };
         WorkloadSpec {

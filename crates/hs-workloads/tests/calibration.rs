@@ -53,9 +53,15 @@ fn spec_rates_are_in_the_papers_band() {
     let (_, v1) = measure(Workload::Variant1, cycles);
     assert!(v1 > 8.0, "variant1 rate {v1:.2} (paper: ≈10)");
     let (_, v2) = measure(Workload::Variant2, 4_500_000);
-    assert!((3.0..6.5).contains(&v2), "variant2 avg rate {v2:.2} (paper: ≈4; phase-sampling windows bias this up)");
+    assert!(
+        (3.0..6.5).contains(&v2),
+        "variant2 avg rate {v2:.2} (paper: ≈4; phase-sampling windows bias this up)"
+    );
     let (_, v3) = measure(Workload::Variant3, 4_500_000);
-    assert!((0.8..3.0).contains(&v3), "variant3 avg rate {v3:.2} (paper: ≈1.5)");
+    assert!(
+        (0.8..3.0).contains(&v3),
+        "variant3 avg rate {v3:.2} (paper: ≈1.5)"
+    );
 }
 
 #[test]

@@ -1,0 +1,78 @@
+//! The defense under degraded telemetry: the hot-spot sensor sticks low
+//! mid-quantum while variant2 attacks. Plain selective sedation goes blind
+//! and lets the die run away past the emergency threshold; the hardened
+//! `failsafe` policy votes the lie out, declares the sensor failed, and
+//! falls back to worst-case stop-and-go that bounds the *true* peak.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use heatstroke::core::ReportKind;
+use heatstroke::prelude::*;
+use heatstroke::sim::FaultConfig;
+use heatstroke::thermal::{SensorFault, SensorFaultKind, SensorFaultPlan};
+
+fn main() {
+    let mut cfg = SimConfig::scaled(200.0);
+    cfg.warmup_cycles = 1_000_000;
+    let emergency = cfg.sedation.thresholds.emergency_k;
+
+    // The hot-spot (IntReg) sensor pins at a cool 345 K after the guard
+    // has seen a few honest frames.
+    cfg.faults = FaultConfig {
+        sensors: SensorFaultPlan::seeded(0xFA_0175).with(SensorFault::permanent(
+            Block::IntReg,
+            SensorFaultKind::StuckAt { value_k: 345.0 },
+            8 * cfg.sensor_interval_cycles,
+        )),
+        ..FaultConfig::none()
+    };
+
+    println!("gcc + variant2, realistic sink, hot-spot sensor stuck at 345 K");
+    println!("emergency threshold: {emergency:.1} K\n");
+
+    for policy in [PolicyKind::SelectiveSedation, PolicyKind::FaultTolerant] {
+        let stats = RunSpec::pair(
+            Workload::Spec(SpecWorkload::Gcc),
+            Workload::Variant2,
+            policy,
+            HeatSink::Realistic,
+            cfg,
+        )
+        .run();
+
+        let peak = stats
+            .peak_temps
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        println!(
+            "{:>18}: victim IPC {:.2}, true peak {:.2} K ({})",
+            stats.policy,
+            stats.thread(0).ipc,
+            peak,
+            if peak > emergency + 1.0 {
+                "THERMAL RUNAWAY"
+            } else {
+                "bounded"
+            }
+        );
+        for kind in [
+            ReportKind::SensorSuspect,
+            ReportKind::SensorFailed,
+            ReportKind::FallbackEngaged,
+            ReportKind::WatchdogHalt,
+        ] {
+            let n = stats.reports.iter().filter(|r| r.kind == kind).count();
+            if n > 0 {
+                println!("                    {n:>3}x {kind}");
+            }
+        }
+    }
+
+    println!(
+        "\nThe failsafe trades throughput for a guarantee: once the hot-spot\n\
+         sensor is failed it assumes worst-case heating and duty-cycles the\n\
+         pipeline, so the attacker can no longer exploit the blind spot."
+    );
+}

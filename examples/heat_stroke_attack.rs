@@ -50,6 +50,8 @@ fn main() {
         let t_reg = temps[Block::IntReg.index()];
 
         let decision = policy.on_sample(&heatstroke::core::DtmInput {
+            sensor_valid: &hs_core::policy::ALL_SENSORS_VALID,
+            sensor_fresh: true,
             cycle: step * sensor,
             block_temps: &temps,
             counts: &heatstroke::core::BlockCounts::new(),
@@ -72,11 +74,13 @@ fn main() {
 
     // Episode statistics.
     let episodes = trace.windows(2).filter(|w| !w[0].2 && w[1].2).count();
-    let stall_frac =
-        trace.iter().filter(|(_, _, s)| *s).count() as f64 / trace.len() as f64;
+    let stall_frac = trace.iter().filter(|(_, _, s)| *s).count() as f64 / trace.len() as f64;
     let peak = trace.iter().map(|(_, t, _)| *t).fold(f64::MIN, f64::max);
     println!("\nheat-stroke episodes : {episodes}");
-    println!("peak temperature     : {peak:.2} K (emergency {:.1} K)", cfg.sedation.thresholds.emergency_k);
+    println!(
+        "peak temperature     : {peak:.2} K (emergency {:.1} K)",
+        cfg.sedation.thresholds.emergency_k
+    );
     println!("fraction stalled     : {:.0}%", 100.0 * stall_frac);
     println!(
         "victim committed     : {} instructions",

@@ -6,8 +6,8 @@
 //! cargo run --release --example os_response
 //! ```
 
-use heatstroke::sim::{OsScheduler, SchedulerConfig};
 use heatstroke::prelude::*;
+use heatstroke::sim::{OsScheduler, SchedulerConfig};
 
 fn run(policy: PolicyKind, respond: bool) -> heatstroke::sim::ScheduleOutcome {
     let mut cfg = SimConfig::scaled(400.0);
@@ -56,7 +56,10 @@ fn main() {
     println!("three software threads (gcc, eon, variant2) over 8 OS quanta on 2 contexts\n");
 
     let baseline = run(PolicyKind::StopAndGo, true);
-    show("stop-and-go (no identification, so the OS cannot act)", &baseline);
+    show(
+        "stop-and-go (no identification, so the OS cannot act)",
+        &baseline,
+    );
 
     let no_response = run(PolicyKind::SelectiveSedation, false);
     show("selective sedation, OS ignores reports", &no_response);

@@ -16,7 +16,10 @@ fn main() {
 
     let victim = Workload::Spec(SpecWorkload::Gcc);
 
-    println!("== heat stroke quickstart (time scale {}x) ==\n", cfg.time_scale);
+    println!(
+        "== heat stroke quickstart (time scale {}x) ==\n",
+        cfg.time_scale
+    );
 
     // 1. The victim alone: the baseline.
     let solo = RunSpec::solo(victim, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).run();

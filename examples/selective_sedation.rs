@@ -32,8 +32,7 @@ fn main() {
     let mut restorations = Vec::new();
     for w in members {
         let victim = Workload::Spec(w);
-        let solo =
-            RunSpec::solo(victim, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).run();
+        let solo = RunSpec::solo(victim, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).run();
         let attacked = RunSpec::pair(
             victim,
             Workload::Variant2,

@@ -38,7 +38,10 @@ fn main() {
     .ipc;
 
     println!("baseline solo IPC: {solo:.2}\n");
-    println!("{:>7} {:>7} | {:>10} {:>11}", "upper", "lower", "victim IPC", "emergencies");
+    println!(
+        "{:>7} {:>7} | {:>10} {:>11}",
+        "upper", "lower", "victim IPC", "emergencies"
+    );
     println!("{}", "-".repeat(42));
     for (upper, lower) in [
         (355.5, 354.5),
@@ -50,7 +53,11 @@ fn main() {
         let (ipc, emergencies) = run_with_thresholds(upper, lower, cfg);
         println!(
             "{upper:>7.1} {lower:>7.1} | {ipc:>10.2} {emergencies:>11}{}",
-            if (upper, lower) == (356.0, 355.0) { "   <- paper" } else { "" }
+            if (upper, lower) == (356.0, 355.0) {
+                "   <- paper"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -1,11 +1,57 @@
 #!/bin/bash
 # Regenerates every table and figure; outputs under results/.
-set -u
+#
+# Usage:
+#   ./run_experiments.sh              # run the full matrix
+#   ./run_experiments.sh --only fig5  # rerun a single experiment
+set -euo pipefail
 cd "$(dirname "$0")"
 BIN=target/release
-for exp in table1 listings fig3 fig4 fig5 fig6 sweep_packaging sweep_thresholds spec_pairs rate_cap_fails sweep_monitor sweep_fetch_policy; do
-  echo "=== $exp ($(date +%H:%M:%S)) ==="
-  $BIN/$exp > results/$exp.txt 2>&1
-  echo "    done"
+
+EXPERIMENTS=(table1 listings fig3 fig4 fig5 fig6 sweep_packaging sweep_thresholds
+             spec_pairs rate_cap_fails sweep_monitor sweep_fetch_policy sweep_faults)
+
+only=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --only)
+      [ $# -ge 2 ] || { echo "--only requires an experiment name" >&2; exit 2; }
+      only="$2"; shift 2 ;;
+    *)
+      echo "unknown argument: $1" >&2
+      echo "usage: $0 [--only <experiment>]" >&2
+      exit 2 ;;
+  esac
 done
+
+if [ -n "$only" ]; then
+  found=0
+  for exp in "${EXPERIMENTS[@]}"; do
+    [ "$exp" = "$only" ] && found=1
+  done
+  if [ "$found" -eq 0 ]; then
+    echo "unknown experiment: $only (valid: ${EXPERIMENTS[*]})" >&2
+    exit 2
+  fi
+  EXPERIMENTS=("$only")
+fi
+
+mkdir -p results
+failed=()
+for exp in "${EXPERIMENTS[@]}"; do
+  echo "=== $exp ($(date +%H:%M:%S)) ==="
+  if "$BIN/$exp" > "results/$exp.txt" 2>&1; then
+    echo "    done"
+  else
+    rc=$?
+    echo "    FAILED (exit $rc) — see results/$exp.txt"
+    failed+=("$exp")
+  fi
+done
+
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo
+  echo "FAILED EXPERIMENTS (${#failed[@]}/${#EXPERIMENTS[@]}): ${failed[*]}"
+  exit 1
+fi
 echo "ALL_EXPERIMENTS_DONE"

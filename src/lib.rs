@@ -72,8 +72,7 @@ pub mod prelude {
     pub use hs_mem::MemConfig;
     pub use hs_power::{EnergyTable, PowerModel};
     pub use hs_sim::{
-        HeatSink, OsScheduler, PolicyKind, RunSpec, SchedulerConfig, SimConfig, SimStats,
-        Simulator,
+        HeatSink, OsScheduler, PolicyKind, RunSpec, SchedulerConfig, SimConfig, SimStats, Simulator,
     };
     pub use hs_thermal::{Block, PowerVector, ThermalConfig, ThermalNetwork};
     pub use hs_workloads::{SpecWorkload, Workload, SPEC_SUITE};

@@ -29,7 +29,11 @@ fn heat_stroke_degrades_the_victim_severely() {
         cfg,
     )
     .run();
-    assert!(attacked.emergencies >= 4, "emergencies: {}", attacked.emergencies);
+    assert!(
+        attacked.emergencies >= 4,
+        "emergencies: {}",
+        attacked.emergencies
+    );
     let ipc = attacked.thread(0).ipc;
     assert!(
         ipc < 0.75 * base,
@@ -99,14 +103,26 @@ fn ideal_sink_isolates_icount_effects() {
 fn variant3_is_weaker_than_variant2() {
     let cfg = fast();
     let victim = Workload::Spec(SpecWorkload::Eon);
-    let v2 = RunSpec::pair(victim, Workload::Variant2, PolicyKind::StopAndGo, HeatSink::Realistic, cfg)
-        .run()
-        .thread(0)
-        .ipc;
-    let v3 = RunSpec::pair(victim, Workload::Variant3, PolicyKind::StopAndGo, HeatSink::Realistic, cfg)
-        .run()
-        .thread(0)
-        .ipc;
+    let v2 = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::StopAndGo,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run()
+    .thread(0)
+    .ipc;
+    let v3 = RunSpec::pair(
+        victim,
+        Workload::Variant3,
+        PolicyKind::StopAndGo,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run()
+    .thread(0)
+    .ipc;
     assert!(
         v3 > v2,
         "the evasive low-rate attacker must hurt less: v2 {v2:.2} vs v3 {v3:.2}"
@@ -116,9 +132,19 @@ fn variant3_is_weaker_than_variant2() {
 #[test]
 fn spec_pair_unaffected_by_enabling_sedation() {
     let cfg = fast();
-    let (a, b) = (Workload::Spec(SpecWorkload::Gcc), Workload::Spec(SpecWorkload::Mesa));
+    let (a, b) = (
+        Workload::Spec(SpecWorkload::Gcc),
+        Workload::Spec(SpecWorkload::Mesa),
+    );
     let off = RunSpec::pair(a, b, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).run();
-    let on = RunSpec::pair(a, b, PolicyKind::SelectiveSedation, HeatSink::Realistic, cfg).run();
+    let on = RunSpec::pair(
+        a,
+        b,
+        PolicyKind::SelectiveSedation,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run();
     let t_off = off.thread(0).ipc + off.thread(1).ipc;
     let t_on = on.thread(0).ipc + on.thread(1).ipc;
     assert!(
@@ -164,7 +190,11 @@ fn os_reports_identify_the_attacker() {
     assert!(!sedated.is_empty());
     // Every sedation report names the attacker thread and the register file.
     for r in &sedated {
-        assert_eq!(r.thread, Some(ThreadId(1)), "report blamed the wrong thread: {r}");
+        assert_eq!(
+            r.thread,
+            Some(ThreadId(1)),
+            "report blamed the wrong thread: {r}"
+        );
         assert_eq!(r.block, Block::IntReg);
         assert!(r.weighted_avg.unwrap_or(0.0) > 0.0);
     }

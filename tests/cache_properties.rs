@@ -1,62 +1,84 @@
-//! Property-based tests on the cache substrate.
+//! Property-style tests on the cache substrate, driven by a seeded
+//! deterministic PRNG (the build is offline, so no external
+//! property-testing framework).
 
 use heatstroke::mem::{AccessKind, CacheGeometry, MemConfig, MemoryHierarchy, SetAssocCache};
-use proptest::prelude::*;
+use heatstroke::thermal::XorShift64;
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_addrs(rng: &mut XorShift64, max_len: u64) -> Vec<u64> {
+    let len = 1 + rng.next_below(max_len) as usize;
+    (0..len)
+        .map(|_| rng.next_below(u64::from(u32::MAX)))
+        .collect()
+}
 
-    #[test]
-    fn address_slicing_partitions_the_address(addr in any::<u64>()) {
-        let g = CacheGeometry::new(64 << 10, 64, 4).unwrap();
-        let rebuilt = (g.tag(addr) * g.sets() + g.set_index(addr)) * g.line_bytes()
-            + (addr % g.line_bytes());
-        prop_assert_eq!(rebuilt, addr);
+#[test]
+fn address_slicing_partitions_the_address() {
+    let mut rng = XorShift64::new(0xCAC1);
+    let g = CacheGeometry::new(64 << 10, 64, 4).unwrap();
+    for _ in 0..256 {
+        let addr = rng.next_u64();
+        let rebuilt =
+            (g.tag(addr) * g.sets() + g.set_index(addr)) * g.line_bytes() + (addr % g.line_bytes());
+        assert_eq!(rebuilt, addr);
     }
+}
 
-    #[test]
-    fn resident_lines_never_exceed_capacity(addrs in prop::collection::vec(any::<u32>(), 1..400)) {
+#[test]
+fn resident_lines_never_exceed_capacity() {
+    let mut rng = XorShift64::new(0xCAC2);
+    for _ in 0..64 {
+        let addrs = random_addrs(&mut rng, 399);
         let g = CacheGeometry::new(4 << 10, 64, 2).unwrap();
         let mut c = SetAssocCache::new(g);
         for a in &addrs {
-            c.access(u64::from(*a), a % 3 == 0);
+            c.access(*a, a % 3 == 0);
         }
-        prop_assert!(c.resident_lines() as u64 <= g.sets() * u64::from(g.assoc()));
+        assert!(c.resident_lines() as u64 <= g.sets() * u64::from(g.assoc()));
     }
+}
 
-    #[test]
-    fn immediate_reaccess_always_hits(addrs in prop::collection::vec(any::<u32>(), 1..200)) {
+#[test]
+fn immediate_reaccess_always_hits() {
+    let mut rng = XorShift64::new(0xCAC3);
+    for _ in 0..64 {
+        let addrs = random_addrs(&mut rng, 199);
         let mut c = SetAssocCache::new(CacheGeometry::new(4 << 10, 64, 2).unwrap());
         for a in &addrs {
-            c.access(u64::from(*a), false);
-            prop_assert!(c.access(u64::from(*a), false).is_hit());
+            c.access(*a, false);
+            assert!(c.access(*a, false).is_hit());
         }
     }
+}
 
-    #[test]
-    fn no_phantom_hits(addrs in prop::collection::vec(any::<u32>(), 1..300)) {
-        // A block can only hit if its line was accessed before and not
-        // provably evicted; at minimum: first-ever access to a line never
-        // hits.
+#[test]
+fn no_phantom_hits() {
+    // A block can only hit if its line was accessed before and not
+    // provably evicted; at minimum: first-ever access to a line never
+    // hits.
+    let mut rng = XorShift64::new(0xCAC4);
+    for _ in 0..64 {
+        let addrs = random_addrs(&mut rng, 299);
         let g = CacheGeometry::new(2 << 10, 64, 2).unwrap();
         let mut c = SetAssocCache::new(g);
         let mut seen: HashSet<u64> = HashSet::new();
         for a in &addrs {
-            let a = u64::from(*a);
-            let line = g.block_addr(a);
-            let hit = c.access(a, false).is_hit();
+            let line = g.block_addr(*a);
+            let hit = c.access(*a, false).is_hit();
             if !seen.contains(&line) {
-                prop_assert!(!hit, "phantom hit at {a:#x}");
+                assert!(!hit, "phantom hit at {a:#x}");
             }
             seen.insert(line);
         }
     }
+}
 
-    #[test]
-    fn lru_keeps_the_hottest_way(way in 0u64..4) {
-        // Fill a set, then re-touch one way; the next conflict must evict
-        // some *other* way.
+#[test]
+fn lru_keeps_the_hottest_way() {
+    // Fill a set, then re-touch one way; the next conflict must evict
+    // some *other* way.
+    for way in 0u64..4 {
         let g = CacheGeometry::new(16 << 10, 64, 4).unwrap();
         let mut c = SetAssocCache::new(g);
         let stride = g.way_stride();
@@ -65,33 +87,42 @@ proptest! {
         }
         c.access(way * stride, false);
         c.access(4 * stride, false); // conflict
-        prop_assert!(c.probe(way * stride), "recently used way was evicted");
+        assert!(c.probe(way * stride), "recently used way {way} was evicted");
     }
+}
 
-    #[test]
-    fn hierarchy_latency_is_one_of_three_classes(addrs in prop::collection::vec(any::<u32>(), 1..200)) {
-        let cfg = MemConfig::default();
+#[test]
+fn hierarchy_latency_is_one_of_three_classes() {
+    let mut rng = XorShift64::new(0xCAC5);
+    let cfg = MemConfig::default();
+    let classes = [
+        cfg.l1_latency,
+        cfg.l1_latency + cfg.l2_latency,
+        cfg.l1_latency + cfg.l2_latency + cfg.memory_latency,
+    ];
+    for _ in 0..32 {
+        let addrs = random_addrs(&mut rng, 199);
         let mut m = MemoryHierarchy::new(cfg);
-        let classes = [
-            cfg.l1_latency,
-            cfg.l1_latency + cfg.l2_latency,
-            cfg.l1_latency + cfg.l2_latency + cfg.memory_latency,
-        ];
         for a in &addrs {
-            let r = m.access(AccessKind::DataRead, u64::from(*a));
-            prop_assert!(classes.contains(&r.latency), "latency {}", r.latency);
+            let r = m.access(AccessKind::DataRead, *a);
+            assert!(classes.contains(&r.latency), "latency {}", r.latency);
         }
     }
+}
 
-    #[test]
-    fn l1_hit_implies_prior_access_to_l2_or_hit(addrs in prop::collection::vec(0u32..1_000_000, 1..200)) {
-        // Inclusion-ish sanity: the hierarchy never reports an L1 hit with
-        // an L2 miss (l2_hit is forced true on L1 hits by construction).
+#[test]
+fn l1_hit_implies_prior_access_to_l2_or_hit() {
+    // Inclusion-ish sanity: the hierarchy never reports an L1 hit with
+    // an L2 miss (l2_hit is forced true on L1 hits by construction).
+    let mut rng = XorShift64::new(0xCAC6);
+    for _ in 0..32 {
+        let len = 1 + rng.next_below(199) as usize;
         let mut m = MemoryHierarchy::new(MemConfig::tiny());
-        for a in &addrs {
-            let r = m.access(AccessKind::DataRead, u64::from(*a));
+        for _ in 0..len {
+            let a = rng.next_below(1_000_000);
+            let r = m.access(AccessKind::DataRead, a);
             if r.l1_hit {
-                prop_assert!(r.l2_hit);
+                assert!(r.l2_hit);
             }
         }
     }

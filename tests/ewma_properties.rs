@@ -1,53 +1,62 @@
-//! Property-based tests on the shift-based weighted average (the paper's
-//! §3.2.1 hardware monitor).
+//! Property-style tests on the shift-based weighted average (the paper's
+//! §3.2.1 hardware monitor), driven by a seeded deterministic PRNG instead
+//! of an external property-testing framework (the build is offline).
 
 use heatstroke::core::Ewma;
-use proptest::prelude::*;
+use heatstroke::thermal::XorShift64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn stays_within_the_input_hull(samples in prop::collection::vec(0u64..1_000_000, 1..500)) {
-        // The average of nonnegative samples can never exceed the running
-        // maximum nor drop below zero.
+#[test]
+fn stays_within_the_input_hull() {
+    let mut rng = XorShift64::new(0xE3A1);
+    for case in 0..128 {
+        let len = 1 + rng.next_below(499) as usize;
         let mut e = Ewma::new(7);
         let mut max = 0u64;
-        for &s in &samples {
+        for _ in 0..len {
+            let s = rng.next_below(1_000_000);
             max = max.max(s);
             e.update(s);
-            prop_assert!(e.value() >= 0.0);
-            prop_assert!(e.value() <= max as f64 + 1e-9, "avg {} above max {max}", e.value());
+            assert!(e.value() >= 0.0);
+            assert!(
+                e.value() <= max as f64 + 1e-9,
+                "case {case}: avg {} above max {max}",
+                e.value()
+            );
         }
     }
+}
 
-    #[test]
-    fn tracks_the_floating_point_reference(
-        samples in prop::collection::vec(0u64..100_000, 1..400),
-        shift in 1u32..12,
-    ) {
+#[test]
+fn tracks_the_floating_point_reference() {
+    let mut rng = XorShift64::new(0xE3A2);
+    for case in 0..128 {
+        let shift = 1 + rng.next_below(11) as u32;
+        let len = 1 + rng.next_below(399) as usize;
         let mut e = Ewma::new(shift);
         let x = 1.0 / f64::from(1u32 << shift);
         let mut reference = 0.0f64;
-        for &s in &samples {
+        for _ in 0..len {
+            let s = rng.next_below(100_000);
             e.update(s);
             reference = (1.0 - x) * reference + x * s as f64;
         }
         // Truncation error is bounded by ~1 unit per step of memory.
         let tolerance = f64::from(1u32 << shift).max(4.0);
-        prop_assert!(
+        assert!(
             (e.value() - reference).abs() <= tolerance,
-            "fixed {} vs float {reference}",
+            "case {case}: fixed {} vs float {reference} (shift {shift})",
             e.value()
         );
     }
+}
 
-    #[test]
-    fn higher_sustained_rate_gives_higher_average(
-        low in 0u64..5_000,
-        gap in 1_000u64..50_000,
-        n in 200usize..800,
-    ) {
+#[test]
+fn higher_sustained_rate_gives_higher_average() {
+    let mut rng = XorShift64::new(0xE3A3);
+    for case in 0..128 {
+        let low = rng.next_below(5_000);
+        let gap = 1_000 + rng.next_below(49_000);
+        let n = 200 + rng.next_below(600);
         let high = low + gap;
         let mut a = Ewma::new(7);
         let mut b = Ewma::new(7);
@@ -55,17 +64,26 @@ proptest! {
             a.update(low);
             b.update(high);
         }
-        prop_assert!(b.value() > a.value());
+        assert!(
+            b.value() > a.value(),
+            "case {case}: {low} vs {high} over {n}"
+        );
     }
+}
 
-    #[test]
-    fn order_of_magnitude_memory(shift in 3u32..10) {
-        // After 4 × 2^shift constant samples, the average is ≥ 90% of the
-        // input (the window really is ~2^shift samples).
+#[test]
+fn order_of_magnitude_memory() {
+    // After 4 × 2^shift constant samples, the average is ≥ 90% of the
+    // input (the window really is ~2^shift samples).
+    for shift in 3u32..10 {
         let mut e = Ewma::new(shift);
         for _ in 0..(4u64 << shift) {
             e.update(1000);
         }
-        prop_assert!(e.value() > 900.0, "{} after 4 windows", e.value());
+        assert!(
+            e.value() > 900.0,
+            "{} after 4 windows (shift {shift})",
+            e.value()
+        );
     }
 }

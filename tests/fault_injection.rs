@@ -1,0 +1,133 @@
+//! End-to-end fault-injection properties: determinism of seeded fault
+//! plans and the failsafe DTM's bound on the true die temperature when the
+//! hot-spot sensor lies.
+//!
+//! Runs use a large time scale and a trimmed warm-up so the whole file
+//! stays fast; the full-size sweep lives in `hs-bench`'s `sweep_faults`.
+
+use heatstroke::core::{CounterFault, CounterFaultKind, CounterFaultPlan, ReportKind};
+use heatstroke::sim::{FaultConfig, HeatSink, PolicyKind, RunSpec, SimConfig, SimStats};
+use heatstroke::thermal::{Block, SensorFault, SensorFaultKind, SensorFaultPlan};
+use heatstroke::workloads::{SpecWorkload, Workload};
+
+fn cfg() -> SimConfig {
+    let mut cfg = SimConfig::scaled(400.0);
+    cfg.warmup_cycles = 300_000;
+    cfg
+}
+
+fn run(policy: PolicyKind, faults: FaultConfig) -> SimStats {
+    let mut run_cfg = cfg();
+    run_cfg.faults = faults;
+    RunSpec::pair(
+        Workload::Spec(SpecWorkload::Gcc),
+        Workload::Variant2,
+        policy,
+        HeatSink::Realistic,
+        run_cfg,
+    )
+    .run()
+}
+
+/// Everything observable that must be bit-identical between replays.
+fn fingerprint(s: &SimStats) -> (u64, u64, u64, Vec<u64>, Vec<String>) {
+    (
+        s.thread(0).committed,
+        s.thread(1).committed,
+        s.emergencies,
+        s.peak_temps.iter().map(|t| t.to_bits()).collect(),
+        s.reports.iter().map(|r| format!("{r}")).collect(),
+    )
+}
+
+fn stuck_low(onset: u64) -> FaultConfig {
+    FaultConfig {
+        sensors: SensorFaultPlan::seeded(0xFA_0175).with(SensorFault::permanent(
+            Block::IntReg,
+            SensorFaultKind::StuckAt { value_k: 345.0 },
+            onset,
+        )),
+        ..FaultConfig::none()
+    }
+}
+
+#[test]
+fn same_fault_plan_seed_gives_identical_stats() {
+    // A stochastic fault (spikes draw from the plan's PRNG) plus a counter
+    // fault, replayed: every statistic must match to the bit.
+    let faults = FaultConfig {
+        sensors: SensorFaultPlan::seeded(0x5EED).with(SensorFault::permanent(
+            Block::IntReg,
+            SensorFaultKind::Spike {
+                amplitude_k: 20.0,
+                one_in: 5,
+            },
+            0,
+        )),
+        counters: CounterFaultPlan::none().with(CounterFault::permanent(
+            1,
+            Some(Block::IntReg),
+            CounterFaultKind::Undercount { shift: 2 },
+        )),
+    };
+    let a = run(PolicyKind::FaultTolerant, faults);
+    let b = run(PolicyKind::FaultTolerant, faults);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn faultless_runs_are_deterministic_too() {
+    let a = run(PolicyKind::SelectiveSedation, FaultConfig::none());
+    let b = run(PolicyKind::SelectiveSedation, FaultConfig::none());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn stuck_low_sensor_defeats_sedation_but_not_the_failsafe() {
+    let c = cfg();
+    let onset = 8 * c.sensor_interval_cycles;
+    let emergency = c.sedation.thresholds.emergency_k;
+
+    let blind = run(PolicyKind::SelectiveSedation, stuck_low(onset));
+    assert!(
+        blind.peak_temp() > emergency,
+        "a stuck-low hot-spot sensor must blind plain sedation (peak {:.2} K)",
+        blind.peak_temp()
+    );
+
+    let guarded = run(PolicyKind::FaultTolerant, stuck_low(onset));
+    assert!(
+        guarded.peak_temp() <= emergency + 1.0,
+        "the failsafe must bound the true peak near the emergency threshold \
+         (peak {:.2} K, threshold {emergency} K)",
+        guarded.peak_temp()
+    );
+    assert!(
+        guarded.count_kind(ReportKind::SensorFailed) >= 1,
+        "the guard must declare the lying sensor failed"
+    );
+    assert!(
+        guarded.count_kind(ReportKind::FallbackEngaged) >= 1,
+        "losing the hot-spot sensor must engage the worst-case fallback"
+    );
+}
+
+#[test]
+fn healthy_hardware_keeps_the_failsafe_in_selective_mode() {
+    let s = run(PolicyKind::FaultTolerant, FaultConfig::none());
+    assert_eq!(s.count_kind(ReportKind::SensorFailed), 0);
+    assert_eq!(s.count_kind(ReportKind::FallbackEngaged), 0);
+    assert_eq!(s.count_kind(ReportKind::WatchdogHalt), 0);
+    assert_eq!(
+        s.emergencies, 0,
+        "selective sedation keeps the die sub-emergency"
+    );
+}
+
+#[test]
+fn empty_fault_config_is_the_default() {
+    let f = FaultConfig::none();
+    assert!(f.is_empty());
+    assert_eq!(f.len(), 0);
+    assert_eq!(f, FaultConfig::default());
+}

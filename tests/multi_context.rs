@@ -103,14 +103,26 @@ fn dvfs_and_stop_and_go_are_comparable() {
     // §4 of the paper: "stop-and-go performs comparably to other schemes".
     let cfg = fast2();
     let victim = Workload::Spec(SpecWorkload::Gcc);
-    let sg = RunSpec::pair(victim, Workload::Variant2, PolicyKind::StopAndGo, HeatSink::Realistic, cfg)
-        .run()
-        .thread(0)
-        .ipc;
-    let dvfs = RunSpec::pair(victim, Workload::Variant2, PolicyKind::GlobalDvfs, HeatSink::Realistic, cfg)
-        .run()
-        .thread(0)
-        .ipc;
+    let sg = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::StopAndGo,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run()
+    .thread(0)
+    .ipc;
+    let dvfs = RunSpec::pair(
+        victim,
+        Workload::Variant2,
+        PolicyKind::GlobalDvfs,
+        HeatSink::Realistic,
+        cfg,
+    )
+    .run()
+    .thread(0)
+    .ipc;
     let ratio = dvfs / sg;
     assert!(
         (0.5..2.0).contains(&ratio),

@@ -1,14 +1,13 @@
 //! Differential testing: the cycle-level pipeline must retire exactly the
 //! same architectural work as the reference interpreter, for randomly
-//! generated programs.
+//! generated programs (seeded deterministic PRNG — the build is offline,
+//! so no external property-testing framework).
 
 use heatstroke::cpu::pipeline::FetchGate;
 use heatstroke::cpu::{Cpu, CpuConfig, ThreadId};
-use heatstroke::isa::{
-    AluOp, BranchCond, IntReg, Machine, Operand, Program, ProgramBuilder,
-};
+use heatstroke::isa::{AluOp, BranchCond, IntReg, Machine, Operand, Program, ProgramBuilder};
 use heatstroke::mem::MemConfig;
-use proptest::prelude::*;
+use heatstroke::thermal::XorShift64;
 
 /// Generates a random but always-terminating program: straight-line blocks
 /// of random ALU/memory work inside a bounded counted loop, ending in halt.
@@ -53,19 +52,25 @@ fn random_program(ops: Vec<u8>, loop_iters: u8) -> Program {
     b.build().expect("generated program is well formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_ops(rng: &mut XorShift64, max_len: u64) -> Vec<u8> {
+    let len = 1 + rng.next_below(max_len) as usize;
+    (0..len).map(|_| rng.next_below(256) as u8).collect()
+}
 
-    #[test]
-    fn pipeline_matches_interpreter(
-        ops in prop::collection::vec(any::<u8>(), 1..60),
-        iters in any::<u8>(),
-    ) {
+#[test]
+fn pipeline_matches_interpreter() {
+    let mut rng = XorShift64::new(0xD1FF1);
+    for case in 0..24 {
+        let ops = random_ops(&mut rng, 59);
+        let iters = rng.next_below(256) as u8;
         let program = random_program(ops, iters);
 
         let mut reference = Machine::new(program.clone());
         reference.run(5_000_000);
-        prop_assert!(reference.state().halted, "reference must terminate");
+        assert!(
+            reference.state().halted,
+            "case {case}: reference must terminate"
+        );
 
         let mut cpu = Cpu::new(CpuConfig::default(), MemConfig::default());
         let t = cpu.attach_thread(program);
@@ -75,17 +80,20 @@ proptest! {
             }
             cpu.tick(FetchGate::open());
         }
-        prop_assert!(cpu.thread_halted(t), "pipeline must reach the halt");
-        prop_assert_eq!(cpu.thread_stats(t).committed, reference.retired());
+        assert!(
+            cpu.thread_halted(t),
+            "case {case}: pipeline must reach the halt"
+        );
+        assert_eq!(cpu.thread_stats(t).committed, reference.retired());
     }
+}
 
-    #[test]
-    fn two_random_threads_stay_architecturally_independent(
-        ops_a in prop::collection::vec(any::<u8>(), 1..40),
-        ops_b in prop::collection::vec(any::<u8>(), 1..40),
-    ) {
-        let pa = random_program(ops_a, 3);
-        let pb = random_program(ops_b, 3);
+#[test]
+fn two_random_threads_stay_architecturally_independent() {
+    let mut rng = XorShift64::new(0xD1FF2);
+    for case in 0..24 {
+        let pa = random_program(random_ops(&mut rng, 39), 3);
+        let pb = random_program(random_ops(&mut rng, 39), 3);
 
         let mut ra = Machine::new(pa.clone());
         ra.run(5_000_000);
@@ -96,15 +104,26 @@ proptest! {
         let ta = cpu.attach_thread(pa);
         let tb = cpu.attach_thread(pb);
         for _ in 0..4_000_000u64 {
-            if cpu.thread_halted(ta) && cpu.thread_halted(tb)
-                && cpu.thread_icount(ta) == 0 && cpu.thread_icount(tb) == 0 {
+            if cpu.thread_halted(ta)
+                && cpu.thread_halted(tb)
+                && cpu.thread_icount(ta) == 0
+                && cpu.thread_icount(tb) == 0
+            {
                 break;
             }
             cpu.tick(FetchGate::open());
         }
         // Sharing the pipeline must not change either thread's retired work.
-        prop_assert_eq!(cpu.thread_stats(ta).committed, ra.retired());
-        prop_assert_eq!(cpu.thread_stats(tb).committed, rb.retired());
+        assert_eq!(
+            cpu.thread_stats(ta).committed,
+            ra.retired(),
+            "case {case}: thread A"
+        );
+        assert_eq!(
+            cpu.thread_stats(tb).committed,
+            rb.retired(),
+            "case {case}: thread B"
+        );
         let _ = ThreadId(0);
     }
 }

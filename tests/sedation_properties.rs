@@ -1,12 +1,12 @@
-//! Property-based tests on the selective-sedation state machine, driven
-//! with synthetic temperature/access traces.
+//! Property-style tests on the selective-sedation state machine, driven
+//! with synthetic temperature/access traces from a seeded deterministic
+//! PRNG (the build is offline, so no external property-testing framework).
 
 use heatstroke::core::{
-    BlockCounts, DtmInput, SedationConfig, SelectiveSedation, ThermalPolicy,
+    BlockCounts, DtmInput, SedationConfig, SelectiveSedation, ThermalPolicy, ALL_SENSORS_VALID,
 };
 use heatstroke::cpu::ThreadId;
-use heatstroke::thermal::{Block, NUM_BLOCKS};
-use proptest::prelude::*;
+use heatstroke::thermal::{Block, XorShift64, NUM_BLOCKS};
 
 fn cfg() -> SedationConfig {
     SedationConfig {
@@ -22,16 +22,14 @@ struct Sample {
     rates: Vec<u64>,
 }
 
-fn trace_strategy(nthreads: usize) -> impl Strategy<Value = Vec<Sample>> {
-    prop::collection::vec(
-        (345.0f64..359.5, prop::collection::vec(0u64..12_000, nthreads)),
-        10..160,
-    )
-    .prop_map(|v| {
-        v.into_iter()
-            .map(|(temp, rates)| Sample { temp, rates })
-            .collect()
-    })
+fn random_trace(rng: &mut XorShift64, nthreads: usize) -> Vec<Sample> {
+    let len = 10 + rng.next_below(150) as usize;
+    (0..len)
+        .map(|_| Sample {
+            temp: 345.0 + rng.next_f64() * (359.5 - 345.0),
+            rates: (0..nthreads).map(|_| rng.next_below(12_000)).collect(),
+        })
+        .collect()
 }
 
 fn drive(policy: &mut SelectiveSedation, samples: &[Sample], nthreads: usize) {
@@ -48,6 +46,8 @@ fn drive(policy: &mut SelectiveSedation, samples: &[Sample], nthreads: usize) {
         let d = policy.on_sample(&DtmInput {
             cycle: (i as u64 + 1) * 1000,
             block_temps: &temps,
+            sensor_valid: &ALL_SENSORS_VALID,
+            sensor_fresh: true,
             counts: &counts,
             global_stalled: stalled,
         });
@@ -79,77 +79,106 @@ fn drive(policy: &mut SelectiveSedation, samples: &[Sample], nthreads: usize) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn invariants_hold_for_two_threads(samples in trace_strategy(2)) {
+#[test]
+fn invariants_hold_for_two_threads() {
+    let mut rng = XorShift64::new(0x5ED1);
+    for _ in 0..64 {
+        let samples = random_trace(&mut rng, 2);
         let mut p = SelectiveSedation::new(cfg(), 2);
         drive(&mut p, &samples, 2);
     }
+}
 
-    #[test]
-    fn invariants_hold_for_four_threads(samples in trace_strategy(4)) {
+#[test]
+fn invariants_hold_for_four_threads() {
+    let mut rng = XorShift64::new(0x5ED2);
+    for _ in 0..64 {
+        let samples = random_trace(&mut rng, 4);
         let mut p = SelectiveSedation::new(cfg(), 4);
         drive(&mut p, &samples, 4);
     }
+}
 
-    #[test]
-    fn cool_traces_never_sedate(
-        rates in prop::collection::vec(prop::collection::vec(0u64..12_000, 2), 10..100)
-    ) {
-        // Temperature pinned below the upper threshold: whatever the rates
-        // do, nobody is ever sedated (temperature-gated detection).
+#[test]
+fn cool_traces_never_sedate() {
+    // Temperature pinned below the upper threshold: whatever the rates
+    // do, nobody is ever sedated (temperature-gated detection).
+    let mut rng = XorShift64::new(0x5ED3);
+    for _ in 0..64 {
+        let len = 10 + rng.next_below(90) as usize;
         let mut p = SelectiveSedation::new(cfg(), 2);
-        for (i, r) in rates.iter().enumerate() {
+        for i in 0..len {
             let mut temps = [350.0; NUM_BLOCKS];
             temps[Block::IntReg.index()] = 355.9;
             let mut counts = BlockCounts::new();
-            counts.add(0, Block::IntReg, r[0]);
-            counts.add(1, Block::IntReg, r[1]);
+            counts.add(0, Block::IntReg, rng.next_below(12_000));
+            counts.add(1, Block::IntReg, rng.next_below(12_000));
             let d = p.on_sample(&DtmInput {
                 cycle: (i as u64 + 1) * 1000,
                 block_temps: &temps,
+                sensor_valid: &ALL_SENSORS_VALID,
+                sensor_fresh: true,
                 counts: &counts,
                 global_stalled: false,
             });
-            prop_assert!(!d.gate.any_gated());
-            prop_assert!(!d.global_stall);
+            assert!(!d.gate.any_gated());
+            assert!(!d.global_stall);
         }
-        prop_assert_eq!(p.sedation_events(), 0);
+        assert_eq!(p.sedation_events(), 0);
     }
+}
 
-    #[test]
-    fn culprit_is_always_the_highest_average(
-        hot_rate in 6_000u64..12_000,
-        cold_rate in 0u64..4_000,
-        hot_thread in 0usize..2,
-    ) {
+#[test]
+fn culprit_is_always_the_highest_average() {
+    let mut rng = XorShift64::new(0x5ED4);
+    for _ in 0..64 {
+        let hot_rate = 6_000 + rng.next_below(6_000);
+        let cold_rate = rng.next_below(4_000);
+        let hot_thread = rng.next_below(2) as usize;
         let mut p = SelectiveSedation::new(cfg(), 2);
         let mut rates = [cold_rate, cold_rate];
         rates[hot_thread] = hot_rate;
         // Warm the monitors below threshold, then trip the upper threshold.
         let mut samples: Vec<Sample> = (0..300)
-            .map(|_| Sample { temp: 352.0, rates: rates.to_vec() })
+            .map(|_| Sample {
+                temp: 352.0,
+                rates: rates.to_vec(),
+            })
             .collect();
-        samples.push(Sample { temp: 356.3, rates: rates.to_vec() });
+        samples.push(Sample {
+            temp: 356.3,
+            rates: rates.to_vec(),
+        });
         drive(&mut p, &samples, 2);
-        prop_assert!(p.is_sedated(ThreadId(hot_thread as u8)));
-        prop_assert!(!p.is_sedated(ThreadId(1 - hot_thread as u8)));
+        assert!(p.is_sedated(ThreadId(hot_thread as u8)));
+        assert!(!p.is_sedated(ThreadId(1 - hot_thread as u8)));
     }
+}
 
-    #[test]
-    fn release_always_follows_cooling(seed_rate in 5_000u64..12_000) {
+#[test]
+fn release_always_follows_cooling() {
+    let mut rng = XorShift64::new(0x5ED5);
+    for _ in 0..32 {
+        let seed_rate = 5_000 + rng.next_below(7_000);
         let mut p = SelectiveSedation::new(cfg(), 2);
         let mut samples: Vec<Sample> = (0..300)
-            .map(|_| Sample { temp: 352.0, rates: vec![seed_rate, 1_000] })
+            .map(|_| Sample {
+                temp: 352.0,
+                rates: vec![seed_rate, 1_000],
+            })
             .collect();
-        samples.push(Sample { temp: 356.2, rates: vec![seed_rate, 1_000] });
+        samples.push(Sample {
+            temp: 356.2,
+            rates: vec![seed_rate, 1_000],
+        });
         drive(&mut p, &samples, 2);
         assert!(p.is_sedated(ThreadId(0)));
         // Cool to the lower threshold: must release.
-        let cool = [Sample { temp: 354.8, rates: vec![0, 1_000] }];
+        let cool = [Sample {
+            temp: 354.8,
+            rates: vec![0, 1_000],
+        }];
         drive(&mut p, &cool, 2);
-        prop_assert!(!p.is_sedated(ThreadId(0)));
+        assert!(!p.is_sedated(ThreadId(0)));
     }
 }

@@ -1,47 +1,58 @@
-//! Property-based tests on the thermal network's physical invariants.
+//! Property-style tests on the thermal network's physical invariants,
+//! driven by a seeded deterministic PRNG (the build is offline, so no
+//! external property-testing framework).
 
-use heatstroke::thermal::{Block, PowerVector, ThermalConfig, ThermalNetwork, ALL_BLOCKS};
-use proptest::prelude::*;
+use heatstroke::thermal::{
+    Block, PowerVector, ThermalConfig, ThermalNetwork, XorShift64, ALL_BLOCKS,
+};
 
-fn power_strategy() -> impl Strategy<Value = PowerVector> {
-    prop::collection::vec(0.0f64..8.0, ALL_BLOCKS.len()).prop_map(|ws| {
-        let mut p = PowerVector::zero();
-        for (b, w) in ALL_BLOCKS.iter().zip(ws) {
-            p.set(*b, w);
-        }
-        p
-    })
+fn random_power(rng: &mut XorShift64) -> PowerVector {
+    let mut p = PowerVector::zero();
+    for b in ALL_BLOCKS {
+        p.set(b, rng.next_f64() * 8.0);
+    }
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn temperatures_never_fall_below_ambient(p in power_strategy(), dt in 1e-6f64..0.05) {
+#[test]
+fn temperatures_never_fall_below_ambient() {
+    let mut rng = XorShift64::new(0x7E51);
+    for _ in 0..48 {
+        let p = random_power(&mut rng);
+        let dt = 1e-6 + rng.next_f64() * 0.05;
         let cfg = ThermalConfig::default();
         let mut net = ThermalNetwork::new(&cfg);
         net.step(dt, &p);
         for b in ALL_BLOCKS {
-            prop_assert!(net.block_temp(b) >= cfg.ambient_k - 1e-9);
+            assert!(net.block_temp(b) >= cfg.ambient_k - 1e-9);
         }
     }
+}
 
-    #[test]
-    fn steady_state_is_monotone_in_power(p in power_strategy(), extra in 0.1f64..5.0) {
+#[test]
+fn steady_state_is_monotone_in_power() {
+    let mut rng = XorShift64::new(0x7E52);
+    for _ in 0..48 {
+        let p = random_power(&mut rng);
+        let extra = 0.1 + rng.next_f64() * 4.9;
         let cfg = ThermalConfig::default();
         let net = ThermalNetwork::new(&cfg);
         let mut hotter = p;
         hotter.add(Block::IntReg, extra);
         for b in ALL_BLOCKS {
-            prop_assert!(
+            assert!(
                 net.steady_state_temp(&hotter, b) >= net.steady_state_temp(&p, b) - 1e-9,
                 "more power somewhere must not cool {b}"
             );
         }
     }
+}
 
-    #[test]
-    fn transient_converges_to_steady_state(p in power_strategy()) {
+#[test]
+fn transient_converges_to_steady_state() {
+    let mut rng = XorShift64::new(0x7E53);
+    for _ in 0..24 {
+        let p = random_power(&mut rng);
         let cfg = ThermalConfig::default().with_time_scale(100.0);
         let mut net = ThermalNetwork::new(&cfg);
         net.initialize_steady_state(&p);
@@ -50,12 +61,16 @@ proptest! {
         for _ in 0..50 {
             net.step(0.001, &p);
         }
-        prop_assert!((net.block_temp(Block::IntReg) - expect).abs() < 0.1);
+        assert!((net.block_temp(Block::IntReg) - expect).abs() < 0.1);
     }
+}
 
-    #[test]
-    fn step_is_additive_in_time(p in power_strategy()) {
-        // Integrating 2ms must equal integrating 1ms twice.
+#[test]
+fn step_is_additive_in_time() {
+    // Integrating 2ms must equal integrating 1ms twice.
+    let mut rng = XorShift64::new(0x7E54);
+    for _ in 0..24 {
+        let p = random_power(&mut rng);
         let cfg = ThermalConfig::default();
         let mut a = ThermalNetwork::new(&cfg);
         let mut b = ThermalNetwork::new(&cfg);
@@ -63,28 +78,39 @@ proptest! {
         b.step(0.001, &p);
         b.step(0.001, &p);
         for blk in ALL_BLOCKS {
-            prop_assert!((a.block_temp(blk) - b.block_temp(blk)).abs() < 1e-6);
+            assert!((a.block_temp(blk) - b.block_temp(blk)).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn time_scaling_preserves_steady_state(p in power_strategy(), scale in 1.0f64..500.0) {
+#[test]
+fn time_scaling_preserves_steady_state() {
+    let mut rng = XorShift64::new(0x7E55);
+    for _ in 0..24 {
+        let p = random_power(&mut rng);
+        let scale = 1.0 + rng.next_f64() * 499.0;
         let base = ThermalNetwork::new(&ThermalConfig::default());
         let scaled = ThermalNetwork::new(&ThermalConfig::default().with_time_scale(scale));
         for b in ALL_BLOCKS {
-            prop_assert!(
-                (base.steady_state_temp(&p, b) - scaled.steady_state_temp(&p, b)).abs() < 1e-6
-            );
+            assert!((base.steady_state_temp(&p, b) - scaled.steady_state_temp(&p, b)).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn hotter_package_with_higher_convection_resistance(p in power_strategy()) {
-        prop_assume!(p.total() > 1.0);
+#[test]
+fn hotter_package_with_higher_convection_resistance() {
+    let mut rng = XorShift64::new(0x7E56);
+    let mut cases = 0;
+    while cases < 24 {
+        let p = random_power(&mut rng);
+        if p.total() <= 1.0 {
+            continue;
+        }
+        cases += 1;
         let good = ThermalNetwork::new(&ThermalConfig::default().with_convection_resistance(0.2));
         let bad = ThermalNetwork::new(&ThermalConfig::default().with_convection_resistance(0.8));
         for b in ALL_BLOCKS {
-            prop_assert!(bad.steady_state_temp(&p, b) > good.steady_state_temp(&p, b));
+            assert!(bad.steady_state_temp(&p, b) > good.steady_state_temp(&p, b));
         }
     }
 }
