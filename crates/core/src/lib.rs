@@ -89,6 +89,6 @@ pub use guard::{GuardConfig, GuardEvent, GuardedFrame, SensorGuard, SensorHealth
 pub use monitor::Ewma;
 pub use policy::{DtmDecision, DtmInput, NoDtm, ThermalPolicy, ALL_SENSORS_VALID};
 pub use rate_cap::{RateCap, RateCapConfig};
-pub use report::{OsReport, ReportKind};
+pub use report::{OsReport, ReportKind, ALL_REPORT_KINDS};
 pub use sedation::SelectiveSedation;
 pub use stop_and_go::StopAndGo;

@@ -38,9 +38,27 @@ pub enum ReportKind {
     WatchdogResumed,
 }
 
-impl fmt::Display for ReportKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+/// Every report kind, in declaration order (for serializers that map kinds
+/// to and from their stable names).
+pub const ALL_REPORT_KINDS: [ReportKind; 11] = [
+    ReportKind::Sedated,
+    ReportKind::Released,
+    ReportKind::Emergency,
+    ReportKind::SafetyNetReleased,
+    ReportKind::SensorSuspect,
+    ReportKind::SensorFailed,
+    ReportKind::SensorRecovered,
+    ReportKind::FallbackEngaged,
+    ReportKind::FallbackReleased,
+    ReportKind::WatchdogHalt,
+    ReportKind::WatchdogResumed,
+];
+
+impl ReportKind {
+    /// Stable display name (also the serialized form).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
             ReportKind::Sedated => "sedated",
             ReportKind::Released => "released",
             ReportKind::Emergency => "emergency",
@@ -52,8 +70,19 @@ impl fmt::Display for ReportKind {
             ReportKind::FallbackReleased => "fallback released",
             ReportKind::WatchdogHalt => "watchdog halt",
             ReportKind::WatchdogResumed => "watchdog resumed",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// The kind with the given stable name, if any.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<ReportKind> {
+        ALL_REPORT_KINDS.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for ReportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -110,5 +139,13 @@ mod tests {
         assert!(s.contains("int-reg"));
         assert!(s.contains("T1"));
         assert!(s.contains("356.2"));
+    }
+
+    #[test]
+    fn names_roundtrip_every_kind() {
+        for kind in ALL_REPORT_KINDS {
+            assert_eq!(ReportKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ReportKind::from_name("no-such-kind"), None);
     }
 }

@@ -1,0 +1,9 @@
+//! The one experiment binary: every table and figure of the paper behind
+//! the shared campaign CLI. See `hs_bench::cli` for the flags.
+
+fn main() {
+    if let Err(msg) = hs_bench::cli::run(std::env::args().skip(1)) {
+        eprintln!("{msg}");
+        std::process::exit(1);
+    }
+}

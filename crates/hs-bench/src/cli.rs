@@ -1,0 +1,272 @@
+//! The shared command line fronting every experiment.
+//!
+//! ```text
+//! campaign [--list] [--only a,b,c] [--jobs N] [--json PATH] [--check PATH]
+//! ```
+//!
+//! * `--list` — print the experiment names, one per line (consumed by
+//!   `run_experiments.sh` to build its menu).
+//! * `--only a,b,c` — run only the named experiments (default: all 14).
+//! * `--jobs N` — worker threads for the campaign engine (default: the
+//!   machine's available parallelism). Results are identical for every
+//!   `N`; see the engine's determinism contract.
+//! * `--json PATH` — also write the campaign report as JSON: to `PATH`
+//!   itself when one experiment is selected, to `PATH/<name>.json` when
+//!   several are.
+//! * `--check PATH` — parse a previously written artifact and report its
+//!   shape (CI uses this to validate `results/*.json`).
+//!
+//! Rendered experiment text goes to stdout; progress and timing go to
+//! stderr, so stdout stays byte-deterministic.
+
+use crate::experiments::{find, Experiment, EXPERIMENTS};
+use hs_sim::CampaignReport;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Options {
+    /// Print experiment names and exit.
+    pub list: bool,
+    /// Restrict to these experiments (`None` = all).
+    pub only: Option<Vec<String>>,
+    /// Worker threads (`None` = available parallelism).
+    pub jobs: Option<usize>,
+    /// Where to write JSON artifacts.
+    pub json: Option<PathBuf>,
+    /// Validate this artifact instead of running anything.
+    pub check: Option<PathBuf>,
+}
+
+impl Options {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on an unknown flag, a missing value, or an
+    /// unknown experiment name.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--list" => opts.list = true,
+                "--only" => {
+                    let v = it.next().ok_or("--only needs a comma-separated list")?;
+                    let names: Vec<String> =
+                        v.split(',').map(|s| s.trim().to_string()).collect();
+                    for n in &names {
+                        if find(n).is_none() {
+                            return Err(format!(
+                                "unknown experiment `{n}`; valid names:\n  {}",
+                                EXPERIMENTS.map(|e| e.name).join("\n  ")
+                            ));
+                        }
+                    }
+                    opts.only = Some(names);
+                }
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a number")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--jobs: `{v}` is not a number"))?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    opts.jobs = Some(n);
+                }
+                "--json" => {
+                    let v = it.next().ok_or("--json needs a path")?;
+                    opts.json = Some(PathBuf::from(v));
+                }
+                "--check" => {
+                    let v = it.next().ok_or("--check needs a path")?;
+                    opts.check = Some(PathBuf::from(v));
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: campaign [--list] [--only a,b,c] [--jobs N] [--json PATH] [--check PATH]"
+                            .into(),
+                    )
+                }
+                other => return Err(format!("unknown flag `{other}` (try --help)")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The experiments selected by `--only` (all when absent), in registry
+    /// order.
+    #[must_use]
+    pub fn selected(&self) -> Vec<&'static Experiment> {
+        match &self.only {
+            None => EXPERIMENTS.iter().collect(),
+            Some(names) => {
+                // Registry order keeps the output stable regardless of the
+                // order names were given in.
+                EXPERIMENTS
+                    .iter()
+                    .filter(|e| names.iter().any(|n| n == e.name))
+                    .collect()
+            }
+        }
+    }
+
+    /// The effective worker count.
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+}
+
+/// Validates a previously written artifact.
+fn check(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let report = CampaignReport::from_json(&text)
+        .map_err(|e| format!("{} is not a campaign artifact: {e}", path.display()))?;
+    let committed: u64 = report
+        .runs
+        .iter()
+        .flat_map(|r| &r.stats.threads)
+        .map(|t| t.committed)
+        .sum();
+    println!(
+        "ok: campaign `{}`, {} runs, {committed} instructions committed",
+        report.name,
+        report.runs.len(),
+    );
+    Ok(())
+}
+
+/// Where one experiment's artifact goes under `--json`.
+fn artifact_path(json: &Path, name: &str, selected: usize) -> PathBuf {
+    if selected == 1 {
+        json.to_path_buf()
+    } else {
+        json.join(format!("{name}.json"))
+    }
+}
+
+/// Runs the CLI against `args` (without the program name).
+///
+/// # Errors
+///
+/// Returns the message to print to stderr before exiting nonzero.
+pub fn run(args: impl IntoIterator<Item = String>) -> Result<(), String> {
+    let opts = Options::parse(args)?;
+
+    if let Some(path) = &opts.check {
+        return check(path);
+    }
+
+    if opts.list {
+        for e in &EXPERIMENTS {
+            println!("{}", e.name);
+        }
+        return Ok(());
+    }
+
+    let cfg = crate::config();
+    let jobs = opts.effective_jobs();
+    let selected = opts.selected();
+    let stdout = std::io::stdout();
+    for (i, e) in selected.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        eprintln!("[{}/{}] {} ({jobs} jobs)", i + 1, selected.len(), e.name);
+        let campaign = (e.build)(&cfg);
+        let started = std::time::Instant::now();
+        let report = campaign
+            .run(jobs)
+            .map_err(|err| format!("{}: {err}", e.name))?;
+        eprintln!(
+            "      {} runs in {:.1}s",
+            report.runs.len(),
+            started.elapsed().as_secs_f64()
+        );
+        if let Some(json) = &opts.json {
+            let path = artifact_path(json, e.name, selected.len());
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|err| format!("cannot create {}: {err}", dir.display()))?;
+            }
+            std::fs::write(&path, report.to_json())
+                .map_err(|err| format!("cannot write {}: {err}", path.display()))?;
+            eprintln!("      wrote {}", path.display());
+        }
+        let mut out = stdout.lock();
+        (e.render)(&cfg, &report, &mut out).map_err(|err| format!("{}: {err}", e.name))?;
+        out.flush().map_err(|err| err.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn defaults_select_everything() {
+        let opts = parse(&[]).unwrap();
+        assert!(!opts.list);
+        assert_eq!(opts.selected().len(), EXPERIMENTS.len());
+        assert!(opts.effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn only_filters_and_keeps_registry_order() {
+        let opts = parse(&["--only", "fig5,fig3"]).unwrap();
+        let names: Vec<_> = opts.selected().iter().map(|e| e.name).collect();
+        assert_eq!(names, ["fig3", "fig5"]); // registry order, not flag order
+    }
+
+    #[test]
+    fn unknown_experiment_is_rejected_with_the_menu() {
+        let err = parse(&["--only", "fig99"]).unwrap_err();
+        assert!(err.contains("fig99"));
+        assert!(
+            err.contains("sweep_faults"),
+            "menu should list names: {err}"
+        );
+    }
+
+    #[test]
+    fn jobs_must_be_positive_numbers() {
+        assert_eq!(parse(&["--jobs", "8"]).unwrap().jobs, Some(8));
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+    }
+
+    #[test]
+    fn json_and_check_take_paths() {
+        let opts = parse(&["--json", "results/fig5.json"]).unwrap();
+        assert_eq!(opts.json, Some(PathBuf::from("results/fig5.json")));
+        let opts = parse(&["--check", "results/fig5.json"]).unwrap();
+        assert_eq!(opts.check, Some(PathBuf::from("results/fig5.json")));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn artifact_path_depends_on_selection_size() {
+        let single = artifact_path(Path::new("results/fig5.json"), "fig5", 1);
+        assert_eq!(single, PathBuf::from("results/fig5.json"));
+        let multi = artifact_path(Path::new("results"), "fig5", 3);
+        assert_eq!(multi, PathBuf::from("results/fig5.json"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 3: average integer-register-file access rates for SPEC-like
+//! programs and the three malicious variants, each executing alone.
+//!
+//! The paper's takeaway: variant1 (≈10/cycle) is separable from SPEC by a
+//! flat average, but variant2 (≈4) and variant3 (≈1.5) are not — which is
+//! why selective sedation triggers on temperature, not on absolute rate.
+
+use super::solo;
+use crate::{bar, header, suite};
+use hs_sim::{Campaign, CampaignReport, HeatSink, PolicyKind, SimConfig};
+use hs_workloads::Workload;
+use std::io::{self, Write};
+
+fn programs() -> Vec<Workload> {
+    let mut ws: Vec<Workload> = suite().into_iter().map(Workload::Spec).collect();
+    ws.extend([Workload::Variant1, Workload::Variant2, Workload::Variant3]);
+    ws
+}
+
+pub fn build(cfg: &SimConfig) -> Campaign {
+    let mut c = Campaign::new("fig3");
+    // Rates are measured with the ideal sink so DTM stalls cannot deflate
+    // them — this matches the paper's per-program characterization.
+    for w in programs() {
+        solo(&mut c, w.name(), w, PolicyKind::None, HeatSink::Ideal, *cfg);
+    }
+    c
+}
+
+pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+    header(
+        out,
+        "Figure 3",
+        "average accesses per cycle to the integer register file (solo)",
+        cfg,
+    )?;
+
+    let rows: Vec<(String, f64)> = programs()
+        .iter()
+        .map(|w| {
+            let rate = report.stats(w.name()).thread(0).int_regfile_rate;
+            (w.name().to_string(), rate)
+        })
+        .collect();
+
+    writeln!(
+        out,
+        "{:>10} {:>6}  {}",
+        "program", "rate", "0 . . . . 5 . . . . 10 . ."
+    )?;
+    for (name, rate) in &rows {
+        writeln!(out, "{name:>10} {rate:>6.2}  {}", bar(*rate, 12.0, 26))?;
+    }
+
+    let spec_max = rows
+        .iter()
+        .filter(|(n, _)| !n.starts_with("variant"))
+        .map(|(_, r)| *r)
+        .fold(0.0f64, f64::max);
+    let get = |name: &str| {
+        rows.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| *r)
+            .unwrap_or(0.0)
+    };
+    writeln!(out)?;
+    writeln!(out, "SPEC maximum          : {spec_max:.2} accesses/cycle")?;
+    writeln!(
+        out,
+        "variant1 {:.2} — widely separated; variant2 {:.2} and variant3 {:.2} — inside the SPEC band",
+        get("variant1"),
+        get("variant2"),
+        get("variant3")
+    )
+}

@@ -1,0 +1,89 @@
+//! Figure 4: number of temperature emergencies in one OS quantum.
+//!
+//! Three bars per benchmark: (1) solo, (2) with variant2 under stop-and-go,
+//! (3) with variant2 under selective sedation. The paper's shape: solo is
+//! near zero for most benchmarks, the attack multiplies emergencies, and
+//! sedation restores them to ≈solo levels.
+
+use super::{pair, solo};
+use crate::{header, suite};
+use hs_sim::{Campaign, CampaignReport, HeatSink, PolicyKind, SimConfig};
+use hs_workloads::Workload;
+use std::io::{self, Write};
+
+pub fn build(cfg: &SimConfig) -> Campaign {
+    let mut c = Campaign::new("fig4");
+    for s in suite() {
+        let w = Workload::Spec(s);
+        let name = s.name();
+        solo(
+            &mut c,
+            format!("{name}/solo"),
+            w,
+            PolicyKind::StopAndGo,
+            HeatSink::Realistic,
+            *cfg,
+        );
+        pair(
+            &mut c,
+            format!("{name}/sg"),
+            w,
+            Workload::Variant2,
+            PolicyKind::StopAndGo,
+            HeatSink::Realistic,
+            *cfg,
+        );
+        pair(
+            &mut c,
+            format!("{name}/sed"),
+            w,
+            Workload::Variant2,
+            PolicyKind::SelectiveSedation,
+            HeatSink::Realistic,
+            *cfg,
+        );
+    }
+    c
+}
+
+pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+    header(
+        out,
+        "Figure 4",
+        "temperature emergencies in one OS quantum",
+        cfg,
+    )?;
+
+    writeln!(
+        out,
+        "{:>10} {:>6} {:>14} {:>14}",
+        "benchmark", "solo", "+v2 stop&go", "+v2 sedation"
+    )?;
+    let mut totals = [0u64; 3];
+    for s in suite() {
+        let name = s.name();
+        let solo = report.stats(&format!("{name}/solo")).emergencies;
+        let attacked = report.stats(&format!("{name}/sg")).emergencies;
+        let defended = report.stats(&format!("{name}/sed")).emergencies;
+        totals[0] += solo;
+        totals[1] += attacked;
+        totals[2] += defended;
+        writeln!(out, "{name:>10} {solo:>6} {attacked:>14} {defended:>14}")?;
+    }
+    let n = suite().len() as f64;
+    writeln!(out, "{}", "-".repeat(48))?;
+    writeln!(
+        out,
+        "{:>10} {:>6.1} {:>14.1} {:>14.1}   (averages)",
+        "mean",
+        totals[0] as f64 / n,
+        totals[1] as f64 / n,
+        totals[2] as f64 / n
+    )?;
+    writeln!(
+        out,
+        "\nattack multiplies emergencies by {:.1}x on average; sedation brings them back to {:.1}x solo",
+        totals[1] as f64 / totals[0].max(1) as f64,
+        totals[2] as f64 / totals[0].max(1) as f64
+    )
+}

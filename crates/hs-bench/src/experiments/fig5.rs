@@ -1,0 +1,172 @@
+//! Figure 5: IPC of the SPEC program under eleven configurations.
+//!
+//! Per benchmark: solo (ideal sink, realistic sink), then for each
+//! malicious variant: together under an ideal sink (isolating ICOUNT
+//! effects), a realistic sink with stop-and-go (the heat stroke), and a
+//! realistic sink with selective sedation (the defense).
+
+use super::{pair, solo};
+use crate::{header, suite};
+use hs_sim::{Campaign, CampaignReport, HeatSink, PolicyKind, SimConfig};
+use hs_workloads::Workload;
+use std::io::{self, Write};
+
+const ATTACKERS: [Workload; 3] = [Workload::Variant1, Workload::Variant2, Workload::Variant3];
+
+pub fn build(cfg: &SimConfig) -> Campaign {
+    let mut c = Campaign::new("fig5");
+    for s in suite() {
+        let w = Workload::Spec(s);
+        let name = s.name();
+        solo(
+            &mut c,
+            format!("{name}/solo-ideal"),
+            w,
+            PolicyKind::None,
+            HeatSink::Ideal,
+            *cfg,
+        );
+        solo(
+            &mut c,
+            format!("{name}/solo-real"),
+            w,
+            PolicyKind::StopAndGo,
+            HeatSink::Realistic,
+            *cfg,
+        );
+        for v in ATTACKERS {
+            let vn = v.name();
+            pair(
+                &mut c,
+                format!("{name}/{vn}/ideal"),
+                w,
+                v,
+                PolicyKind::None,
+                HeatSink::Ideal,
+                *cfg,
+            );
+            pair(
+                &mut c,
+                format!("{name}/{vn}/sg"),
+                w,
+                v,
+                PolicyKind::StopAndGo,
+                HeatSink::Realistic,
+                *cfg,
+            );
+            pair(
+                &mut c,
+                format!("{name}/{vn}/sed"),
+                w,
+                v,
+                PolicyKind::SelectiveSedation,
+                HeatSink::Realistic,
+                *cfg,
+            );
+        }
+    }
+    c
+}
+
+pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+    header(
+        out,
+        "Figure 5",
+        "IPC of the SPEC program under the 11 configurations",
+        cfg,
+    )?;
+
+    let victim_ipc = |label: &str| report.stats(label).thread(0).ipc;
+
+    writeln!(
+        out,
+        "{:>10} | {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5}",
+        "", "solo", "solo", "v1", "v1", "v1", "v2", "v2", "v2", "v3", "v3", "v3"
+    )?;
+    writeln!(
+        out,
+        "{:>10} | {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5}",
+        "benchmark",
+        "ideal",
+        "real",
+        "ideal",
+        "s&g",
+        "sed",
+        "ideal",
+        "s&g",
+        "sed",
+        "ideal",
+        "s&g",
+        "sed"
+    )?;
+    writeln!(out, "{}", "-".repeat(100))?;
+    let mut sums = [0.0f64; 11];
+    let mut n = 0.0;
+    for s in suite() {
+        let name = s.name();
+        let mut cells = [0.0f64; 11];
+        cells[0] = victim_ipc(&format!("{name}/solo-ideal"));
+        cells[1] = victim_ipc(&format!("{name}/solo-real"));
+        for (vi, v) in ATTACKERS.iter().enumerate() {
+            let vn = v.name();
+            cells[2 + 3 * vi] = victim_ipc(&format!("{name}/{vn}/ideal"));
+            cells[3 + 3 * vi] = victim_ipc(&format!("{name}/{vn}/sg"));
+            cells[4 + 3 * vi] = victim_ipc(&format!("{name}/{vn}/sed"));
+        }
+        for (sum, c) in sums.iter_mut().zip(cells) {
+            *sum += c;
+        }
+        n += 1.0;
+        writeln!(
+            out,
+            "{:>10} | {:>5.2} {:>5.2} | {:>5.2} {:>5.2} {:>5.2} | {:>5.2} {:>5.2} {:>5.2} | {:>5.2} {:>5.2} {:>5.2}",
+            name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5], cells[6], cells[7], cells[8], cells[9], cells[10]
+        )?;
+    }
+    writeln!(out, "{}", "-".repeat(100))?;
+    write!(out, "{:>10} |", "mean")?;
+    for (i, s) in sums.iter().enumerate() {
+        if i == 2 || i == 5 || i == 8 {
+            write!(out, " |")?;
+        }
+        write!(out, " {:>5.2}", s / n)?;
+    }
+    writeln!(out)?;
+
+    let deg = |i: usize| 100.0 * (1.0 - sums[i] / sums[1]);
+    writeln!(
+        out,
+        "\nheat-stroke degradation vs solo-realistic (victim IPC):"
+    )?;
+    writeln!(
+        out,
+        "  variant1 + stop-and-go : {:>5.1}%   (power density + ICOUNT monopolization)",
+        deg(3)
+    )?;
+    writeln!(
+        out,
+        "  variant2 + stop-and-go : {:>5.1}%   (power density alone — the heat stroke)",
+        deg(6)
+    )?;
+    writeln!(
+        out,
+        "  variant3 + stop-and-go : {:>5.1}%   (evasive low-rate attacker)",
+        deg(9)
+    )?;
+    writeln!(out, "\nselective sedation restores the victim to:")?;
+    writeln!(
+        out,
+        "  vs variant1 : {:>5.1}% of solo",
+        100.0 * sums[4] / sums[1]
+    )?;
+    writeln!(
+        out,
+        "  vs variant2 : {:>5.1}% of solo",
+        100.0 * sums[7] / sums[1]
+    )?;
+    writeln!(
+        out,
+        "  vs variant3 : {:>5.1}% of solo",
+        100.0 * sums[10] / sums[1]
+    )
+}

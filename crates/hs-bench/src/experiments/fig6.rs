@@ -5,10 +5,12 @@
 //! (4) variant2 itself under sedation. Each bar splits the quantum into
 //! normal execution, global (cooling) stalls, and sedation stalls.
 
-use hs_bench::{config, header, run_pair, run_solo, suite};
+use super::{pair, solo};
+use crate::{header, suite};
 use hs_sim::stats::ThreadBreakdown;
-use hs_sim::{HeatSink, PolicyKind};
+use hs_sim::{Campaign, CampaignReport, HeatSink, PolicyKind, SimConfig};
 use hs_workloads::Workload;
+use std::io::{self, Write};
 
 fn fmt(b: &ThreadBreakdown) -> String {
     format!(
@@ -19,38 +21,60 @@ fn fmt(b: &ThreadBreakdown) -> String {
     )
 }
 
-fn main() {
-    let cfg = config();
-    header("Figure 6", "breakdown of execution time", &cfg);
-
-    let mut acc = [[0.0f64; 3]; 4];
-    let mut n = 0.0;
+pub fn build(cfg: &SimConfig) -> Campaign {
+    let mut c = Campaign::new("fig6");
     for s in suite() {
         let w = Workload::Spec(s);
-        let solo = run_solo(w, PolicyKind::StopAndGo, HeatSink::Realistic, cfg);
-        let sg = run_pair(
+        let name = s.name();
+        solo(
+            &mut c,
+            format!("{name}/solo"),
+            w,
+            PolicyKind::StopAndGo,
+            HeatSink::Realistic,
+            *cfg,
+        );
+        pair(
+            &mut c,
+            format!("{name}/sg"),
             w,
             Workload::Variant2,
             PolicyKind::StopAndGo,
             HeatSink::Realistic,
-            cfg,
+            *cfg,
         );
-        let sed = run_pair(
+        pair(
+            &mut c,
+            format!("{name}/sed"),
             w,
             Workload::Variant2,
             PolicyKind::SelectiveSedation,
             HeatSink::Realistic,
-            cfg,
+            *cfg,
         );
+    }
+    c
+}
+
+pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+    header(out, "Figure 6", "breakdown of execution time", cfg)?;
+
+    let mut acc = [[0.0f64; 3]; 4];
+    let mut n = 0.0;
+    for s in suite() {
+        let name = s.name();
+        let solo = report.stats(&format!("{name}/solo"));
+        let sg = report.stats(&format!("{name}/sg"));
+        let sed = report.stats(&format!("{name}/sed"));
         let bars = [
             ("alone", solo.thread(0).breakdown),
             ("s&g +v2", sg.thread(0).breakdown),
             ("sed +v2", sed.thread(0).breakdown),
             ("v2(sed)", sed.thread(1).breakdown),
         ];
-        println!("{}:", s.name());
+        writeln!(out, "{name}:")?;
         for (i, (label, b)) in bars.iter().enumerate() {
-            println!("  {:>8}  {}", label, fmt(b));
+            writeln!(out, "  {:>8}  {}", label, fmt(b))?;
             acc[i][0] += b.normal_fraction();
             acc[i][1] += b.stall_fraction();
             acc[i][2] += b.sedated_fraction();
@@ -58,7 +82,7 @@ fn main() {
         n += 1.0;
     }
 
-    println!("\naverages across the suite:");
+    writeln!(out, "\naverages across the suite:")?;
     for (i, label) in [
         "SPEC alone",
         "SPEC +v2 stop-and-go",
@@ -68,12 +92,14 @@ fn main() {
     .iter()
     .enumerate()
     {
-        println!(
+        writeln!(
+            out,
             "  {:>24}: normal {:>4.0}%, cooling stalls {:>4.0}%, sedated {:>4.0}%",
             label,
             100.0 * acc[i][0] / n,
             100.0 * acc[i][1] / n,
             100.0 * acc[i][2] / n
-        );
+        )?;
     }
+    Ok(())
 }

@@ -1,0 +1,68 @@
+//! Prints the malicious-thread code of Figures 1 and 2 as actually
+//! generated for this ISA (truncated to the interesting parts).
+//!
+//! No quantum simulation required — the matrix is empty and the renderer
+//! generates the programs directly.
+
+use hs_sim::{Campaign, CampaignReport, SimConfig};
+use hs_workloads::{MaliciousParams, Workload};
+use std::io::{self, Write};
+
+pub fn build(_cfg: &SimConfig) -> Campaign {
+    Campaign::new("listings")
+}
+
+fn print_truncated(
+    out: &mut dyn Write,
+    name: &str,
+    w: Workload,
+    time_scale: f64,
+    keep: usize,
+) -> io::Result<()> {
+    let p = w.program(time_scale);
+    writeln!(out, "--- {name} ({} instructions total) ---", p.len())?;
+    let listing = p.listing();
+    let lines: Vec<&str> = listing.lines().collect();
+    for line in lines.iter().take(keep) {
+        writeln!(out, "{line}")?;
+    }
+    if lines.len() > keep {
+        writeln!(out, "    ... ({} more lines)", lines.len() - keep)?;
+        // Show the loads of the conflict phase if present.
+        if let Some(first_load) = lines.iter().position(|l| l.contains("ldq")) {
+            writeln!(out, "    ...")?;
+            for line in lines.iter().skip(first_load).take(10) {
+                writeln!(out, "{line}")?;
+            }
+        }
+    }
+    writeln!(out)
+}
+
+pub fn render(cfg: &SimConfig, _report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        out,
+        "Figure 1: the aggressive malicious thread (variant1)\n"
+    )?;
+    print_truncated(out, "variant1", Workload::Variant1, cfg.time_scale, 12)?;
+
+    writeln!(out, "Figure 2: the moderately malicious thread (variant2)")?;
+    let p2 = MaliciousParams::variant2(cfg.time_scale);
+    writeln!(
+        out,
+        "  burst: {} independent addl instructions; miss phase: {} rounds of\n  nine loads mapping to one set of the 8-way L2\n",
+        p2.burst_insts, p2.conflict_rounds
+    )?;
+    print_truncated(out, "variant2", Workload::Variant2, cfg.time_scale, 12)?;
+
+    writeln!(
+        out,
+        "variant3: the evasive attacker (short bursts, long miss phases)"
+    )?;
+    let p3 = MaliciousParams::variant3(cfg.time_scale);
+    writeln!(
+        out,
+        "  burst: {} addl instructions; miss phase: {} conflict rounds\n",
+        p3.burst_insts, p3.conflict_rounds
+    )
+}

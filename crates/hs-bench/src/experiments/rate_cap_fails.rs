@@ -1,0 +1,177 @@
+//! Demonstrates §3.2.1's argument against absolute-rate policing.
+//!
+//! The strawman "rate-cap" defense sedates any thread whose weighted
+//! average exceeds a fixed cap, with no temperature input. This experiment
+//! shows its dilemma:
+//!
+//! * with the cap low enough to catch variant2's bursts it also punishes
+//!   legitimate hot benchmarks (false positives, lost throughput),
+//! * the evasive variant3 stays under any usable cap entirely
+//!   (false negatives),
+//!
+//! while selective sedation — temperature-triggered, rate-attributed —
+//! avoids both.
+
+use super::{pair, solo};
+use crate::{header, suite};
+use hs_sim::{Campaign, CampaignReport, HeatSink, PolicyKind, SimConfig};
+use hs_workloads::{SpecWorkload, Workload};
+use std::io::{self, Write};
+
+const VICTIM: Workload = Workload::Spec(SpecWorkload::Gcc);
+
+// §3.2.1: "raising the weighted-average threshold in order to reduce the
+// performance degradation would enable a malicious thread to inflict heat
+// stroke without being detected." A cap of 8 acc/cycle clears every
+// innocent benchmark — and every attacker below it.
+fn raised(cfg: &SimConfig) -> SimConfig {
+    let mut c = *cfg;
+    c.rate_cap.cap_accesses_per_cycle = 8.0;
+    c
+}
+
+// `art` stands in for a tuned attacker that hammers the register file at a
+// *sustained* rate below the raised cap — invisible to rate policing yet
+// hot enough to reach emergencies.
+const ATTACKERS: [Workload; 3] = [
+    Workload::Variant2,
+    Workload::Variant3,
+    Workload::Spec(SpecWorkload::Art),
+];
+
+pub fn build(cfg: &SimConfig) -> Campaign {
+    let mut c = Campaign::new("rate_cap_fails");
+    // Part 1: false positives — innocent benchmarks under the rate cap.
+    for s in suite() {
+        let w = Workload::Spec(s);
+        let name = s.name();
+        solo(
+            &mut c,
+            format!("{name}/base"),
+            w,
+            PolicyKind::None,
+            HeatSink::Ideal,
+            *cfg,
+        );
+        solo(
+            &mut c,
+            format!("{name}/capped"),
+            w,
+            PolicyKind::RateCap,
+            HeatSink::Ideal,
+            *cfg,
+        );
+    }
+    // Part 2: false negatives — attackers against the gcc victim.
+    solo(
+        &mut c,
+        "gcc/solo-real",
+        VICTIM,
+        PolicyKind::StopAndGo,
+        HeatSink::Realistic,
+        *cfg,
+    );
+    for attacker in ATTACKERS {
+        let an = attacker.name();
+        pair(
+            &mut c,
+            format!("{an}/cap6"),
+            VICTIM,
+            attacker,
+            PolicyKind::RateCap,
+            HeatSink::Realistic,
+            *cfg,
+        );
+        pair(
+            &mut c,
+            format!("{an}/cap8"),
+            VICTIM,
+            attacker,
+            PolicyKind::RateCap,
+            HeatSink::Realistic,
+            raised(cfg),
+        );
+        pair(
+            &mut c,
+            format!("{an}/sed"),
+            VICTIM,
+            attacker,
+            PolicyKind::SelectiveSedation,
+            HeatSink::Realistic,
+            *cfg,
+        );
+    }
+    c
+}
+
+pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+    header(out, "Section 3.2.1", "why absolute rate-caps fail", cfg)?;
+
+    writeln!(
+        out,
+        "false positives (each benchmark runs ALONE; a correct defense does nothing):\n"
+    )?;
+    writeln!(
+        out,
+        "{:>10} | {:>12} | {:>12} | {:>10}",
+        "benchmark", "no-dtm IPC", "rate-cap IPC", "lost"
+    )?;
+    writeln!(out, "{}", "-".repeat(54))?;
+    let mut punished = 0;
+    for s in suite() {
+        let name = s.name();
+        let base = report.stats(&format!("{name}/base")).thread(0).ipc;
+        let capped = report.stats(&format!("{name}/capped")).thread(0).ipc;
+        let lost = 100.0 * (1.0 - capped / base);
+        if lost > 2.0 {
+            punished += 1;
+        }
+        writeln!(
+            out,
+            "{name:>10} | {base:>12.2} | {capped:>12.2} | {lost:>9.0}%{}",
+            if lost > 2.0 {
+                "  <- false positive"
+            } else {
+                ""
+            }
+        )?;
+    }
+    writeln!(
+        out,
+        "\n{punished} of {} innocent benchmarks lose throughput to the cap.",
+        suite().len()
+    )?;
+
+    writeln!(out, "\nfalse negatives (victim = gcc):\n")?;
+    let solo_ipc = report.stats("gcc/solo-real").thread(0).ipc;
+    writeln!(
+        out,
+        "{:>10} | {:>16} | {:>11} | {:>12}",
+        "attacker", "policy", "victim IPC", "emergencies"
+    )?;
+    writeln!(out, "{}", "-".repeat(60))?;
+    for attacker in ATTACKERS {
+        let an = attacker.name();
+        for (label, key) in [
+            ("rate-cap @6", "cap6"),
+            ("rate-cap @8", "cap8"),
+            ("sedation", "sed"),
+        ] {
+            let stats = report.stats(&format!("{an}/{key}"));
+            writeln!(
+                out,
+                "{an:>10} | {label:>16} | {:>11.2} | {:>12}",
+                stats.thread(0).ipc,
+                stats.emergencies
+            )?;
+        }
+    }
+    writeln!(out, "\nvictim solo (realistic sink): {solo_ipc:.2} IPC")?;
+    writeln!(
+        out,
+        "\nUnder the rate cap the attacker's emergencies still reach the hardware\n\
+         (the cap has no temperature input, and a below-cap attacker is invisible\n\
+         to it); selective sedation keeps emergencies at zero AND the victim near\n\
+         its solo IPC."
+    )
+}

@@ -11,17 +11,27 @@
 //! stop-and-go, and keeps the true temperature bounded.
 //!
 //! Every run is driven by a fixed-seed fault plan, so the whole table is
-//! bit-reproducible; the binary re-runs each scenario and asserts identical
-//! results before printing the verdict.
+//! bit-reproducible; the campaign carries a duplicate of each scenario and
+//! the renderer asserts identical results before printing the verdict.
 
-use hs_bench::{config, header, run_pair};
+use crate::header;
 use hs_core::{CounterFault, CounterFaultKind, CounterFaultPlan, ReportKind};
-use hs_sim::{FaultConfig, HeatSink, PolicyKind, SimConfig, SimStats};
+use hs_sim::{
+    Campaign, CampaignMatrix, CampaignReport, FaultConfig, HeatSink, PolicyKind, RunSpec,
+    SimConfig, SimStats,
+};
 use hs_thermal::{Block, SensorFault, SensorFaultKind, SensorFaultPlan};
 use hs_workloads::{SpecWorkload, Workload};
+use std::io::{self, Write};
 
 /// The sensor watching the attacked hot spot.
 const HOT: Block = Block::IntReg;
+
+const POLICIES: [PolicyKind; 3] = [
+    PolicyKind::SelectiveSedation,
+    PolicyKind::FaultTolerant,
+    PolicyKind::StopAndGo,
+];
 
 fn scenarios(cfg: &SimConfig) -> Vec<(&'static str, FaultConfig)> {
     // Fault onset after the first few sensor frames, so the guard has a
@@ -103,16 +113,40 @@ fn scenarios(cfg: &SimConfig) -> Vec<(&'static str, FaultConfig)> {
     ]
 }
 
-fn run(policy: PolicyKind, faults: FaultConfig, cfg: SimConfig) -> SimStats {
-    let mut run_cfg = cfg;
-    run_cfg.faults = faults;
-    run_pair(
-        Workload::Spec(SpecWorkload::Gcc),
-        Workload::Variant2,
-        policy,
-        HeatSink::Realistic,
-        run_cfg,
-    )
+pub fn build(cfg: &SimConfig) -> Campaign {
+    // The main table is a pure product: one co-schedule x 3 policies x 8
+    // fault plans on the realistic sink.
+    let mut m = CampaignMatrix::new(*cfg).workloads(
+        "gcc+v2",
+        [Workload::Spec(SpecWorkload::Gcc), Workload::Variant2],
+    );
+    for p in POLICIES {
+        m = m.policy(p);
+    }
+    for (name, faults) in scenarios(cfg) {
+        m = m.faults(name, faults);
+    }
+    let mut c = m.build("sweep_faults").expect("fault matrix is valid");
+    // Duplicate every cell so the renderer can verify bit-reproducibility
+    // (each run owns its simulator; equal inputs must give equal outputs).
+    for (name, faults) in scenarios(cfg) {
+        for policy in POLICIES {
+            let spec = RunSpec::builder()
+                .workloads([Workload::Spec(SpecWorkload::Gcc), Workload::Variant2])
+                .policy(policy)
+                .sink(HeatSink::Realistic)
+                .config(*cfg)
+                .faults(faults)
+                .build()
+                .expect("fault rerun is valid");
+            c.push(format!("again/{name}/{}", policy.name()), spec);
+        }
+    }
+    c
+}
+
+fn label(fault: &str, policy: PolicyKind) -> String {
+    format!("gcc+v2/{}/realistic/{fault}", policy.name())
 }
 
 /// The fields that must be bit-identical across repeated runs.
@@ -126,40 +160,37 @@ fn fingerprint(s: &SimStats) -> (u64, u64, u64, Vec<u64>, usize) {
     )
 }
 
-fn main() {
-    let cfg = config();
+pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
     header(
+        out,
         "Fault sweep",
         "sensor/counter faults × thermal policies",
-        &cfg,
-    );
+        cfg,
+    )?;
     let emergency = cfg.sedation.thresholds.emergency_k;
-    println!(
+    writeln!(
+        out,
         "victim gcc + attacker variant-2, realistic sink; hot-spot sensor = {HOT}\n\
          emergency threshold {emergency:.1} K; faults begin after 8 sensor frames\n"
-    );
+    )?;
 
-    let policies = [
-        PolicyKind::SelectiveSedation,
-        PolicyKind::FaultTolerant,
-        PolicyKind::StopAndGo,
-    ];
-    println!(
+    writeln!(
+        out,
         "{:>10} | {:>11} | {:>10} {:>9} {:>6} {:>6} {:>5} {:>5} {:>5}",
         "fault", "policy", "victim IPC", "peak K", "emerg", "sed", "fail", "fbk", "halt"
-    );
+    )?;
 
     let mut deterministic = true;
-    let mut table: Vec<(&str, &str, SimStats)> = Vec::new();
-    for (name, faults) in scenarios(&cfg) {
-        for policy in policies {
-            let stats = run(policy, faults, cfg);
-            let again = run(policy, faults, cfg);
-            if fingerprint(&stats) != fingerprint(&again) {
+    for (name, _) in scenarios(cfg) {
+        for policy in POLICIES {
+            let stats = report.stats(&label(name, policy));
+            let again = report.stats(&format!("again/{name}/{}", policy.name()));
+            if fingerprint(stats) != fingerprint(again) {
                 deterministic = false;
-                eprintln!("NON-DETERMINISTIC: {name} under {}", policy.name());
+                writeln!(out, "NON-DETERMINISTIC: {name} under {}", policy.name())?;
             }
-            println!(
+            writeln!(
+                out,
                 "{:>10} | {:>11} | {:>10.2} {:>9.2} {:>6} {:>6} {:>5} {:>5} {:>5}",
                 name,
                 policy.name(),
@@ -170,24 +201,15 @@ fn main() {
                 stats.count_kind(ReportKind::SensorFailed),
                 stats.count_kind(ReportKind::FallbackEngaged),
                 stats.count_kind(ReportKind::WatchdogHalt),
-            );
-            table.push((name, policy.name(), stats));
+            )?;
         }
-        println!();
+        writeln!(out)?;
     }
-
-    let find = |f: &str, p: &str| -> &SimStats {
-        &table
-            .iter()
-            .find(|(tf, tp, _)| *tf == f && *tp == p)
-            .expect("scenario present")
-            .2
-    };
 
     // Verdict 1: with no faults the hardened policy behaves like plain
     // sedation (the guard is transparent on healthy hardware).
-    let clean_sed = find("none", "sedation");
-    let clean_fs = find("none", "failsafe");
+    let clean_sed = report.stats(&label("none", PolicyKind::SelectiveSedation));
+    let clean_fs = report.stats(&label("none", PolicyKind::FaultTolerant));
     let transparent =
         (clean_fs.thread(0).ipc - clean_sed.thread(0).ipc).abs() / clean_sed.thread(0).ipc < 0.05
             && clean_fs.count_kind(ReportKind::FallbackEngaged) == 0;
@@ -195,36 +217,41 @@ fn main() {
     // Verdict 2: a stuck-low hot-spot sensor defeats plain sedation (true
     // peak exceeds the emergency threshold) but not the failsafe (true peak
     // stays within 1 K of it).
-    let blind = find("stuck-low", "sedation");
-    let guarded = find("stuck-low", "failsafe");
+    let blind = report.stats(&label("stuck-low", PolicyKind::SelectiveSedation));
+    let guarded = report.stats(&label("stuck-low", PolicyKind::FaultTolerant));
     let sedation_defeated = blind.peak_temp() > emergency;
     let failsafe_holds = guarded.peak_temp() <= emergency + 1.0;
 
-    println!("verdicts:");
-    println!(
+    writeln!(out, "verdicts:")?;
+    writeln!(
+        out,
         "  [{}] healthy hardware: failsafe ≈ sedation (victim IPC {:.2} vs {:.2}, no fallback)",
         if transparent { "pass" } else { "FAIL" },
         clean_fs.thread(0).ipc,
         clean_sed.thread(0).ipc,
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "  [{}] stuck-low sensor defeats plain sedation: true peak {:.2} K > {:.1} K",
         if sedation_defeated { "pass" } else { "FAIL" },
         blind.peak_temp(),
         emergency,
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "  [{}] failsafe bounds the same attack: true peak {:.2} K ≤ {:.1} K (+1 K)",
         if failsafe_holds { "pass" } else { "FAIL" },
         guarded.peak_temp(),
         emergency,
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "  [{}] every run bit-reproducible for its fixed fault-plan seed",
         if deterministic { "pass" } else { "FAIL" },
-    );
+    )?;
     assert!(
         transparent && sedation_defeated && failsafe_holds && deterministic,
         "fault-sweep acceptance criteria not met"
     );
+    Ok(())
 }

@@ -1,0 +1,104 @@
+//! Regenerates Table 1 of the paper: the architectural and power-density
+//! parameters of the simulated system.
+//!
+//! No simulation required — the matrix is empty and the renderer reads the
+//! configuration directly.
+
+use hs_sim::{Campaign, CampaignReport, SimConfig};
+use std::io::{self, Write};
+
+pub fn build(_cfg: &SimConfig) -> Campaign {
+    Campaign::new("table1")
+}
+
+pub fn render(cfg: &SimConfig, _report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+    let cpu = cfg.cpu;
+    let mem = cfg.mem;
+    let th = cfg.thermal;
+
+    writeln!(out, "Table 1: System parameters")?;
+    writeln!(out, "==========================\n")?;
+    writeln!(out, "Architectural Parameters")?;
+    writeln!(
+        out,
+        "  Instruction issue        {}, out-of-order",
+        cpu.issue_width
+    )?;
+    writeln!(
+        out,
+        "  L1                       {}KB {}-way i & d, {}-cycle",
+        mem.l1i.size_bytes() / 1024,
+        mem.l1i.assoc(),
+        mem.l1_latency
+    )?;
+    writeln!(
+        out,
+        "  L2                       {}M {}-way shared, {}-cycle",
+        mem.l2.size_bytes() / (1 << 20),
+        mem.l2.assoc(),
+        mem.l2_latency
+    )?;
+    writeln!(
+        out,
+        "  RUU/LSQ                  {}/{} entries",
+        cpu.ruu_size, cpu.lsq_size
+    )?;
+    writeln!(out, "  Memory ports             {}", cpu.mem_ports)?;
+    writeln!(
+        out,
+        "  Off-chip memory latency  {} cycles",
+        mem.memory_latency
+    )?;
+    writeln!(out, "  SMT                      {} contexts", cpu.contexts)?;
+    writeln!(
+        out,
+        "  Fetch policy             ICOUNT.{}.{}",
+        cpu.fetch_threads_per_cycle, cpu.fetch_width
+    )?;
+    writeln!(out)?;
+    writeln!(out, "Power Density Parameters")?;
+    writeln!(
+        out,
+        "  Vdd                      1.1 V (modelled via calibrated per-access energies)"
+    )?;
+    writeln!(out, "  Base frequency           {} GHz", cfg.freq_hz / 1e9)?;
+    writeln!(
+        out,
+        "  Convection resistance    {} K/W",
+        th.convection_resistance
+    )?;
+    writeln!(
+        out,
+        "  Heat-sink capacitance    {} J/K (6.9 mm sink equivalent)",
+        th.sink_capacitance
+    )?;
+    writeln!(
+        out,
+        "  Thermal RC cooling time  ~10 ms (physical); {}x time-scaled here",
+        cfg.time_scale
+    )?;
+    writeln!(
+        out,
+        "  Sensor period            {} cycles",
+        cfg.sensor_interval_cycles
+    )?;
+    writeln!(out)?;
+    writeln!(out, "DTM thresholds (K)")?;
+    let t = cfg.sedation.thresholds;
+    writeln!(
+        out,
+        "  emergency / upper / lower / normal = {} / {} / {} / {}",
+        t.emergency_k, t.upper_k, t.lower_k, t.normal_k
+    )?;
+    writeln!(
+        out,
+        "  monitor sample period    {} cycles, EWMA x = 1/{}",
+        cfg.sedation.sample_period_cycles,
+        1u32 << cfg.sedation.ewma_shift
+    )?;
+    writeln!(
+        out,
+        "  OS quantum               {} cycles",
+        cfg.quantum_cycles
+    )
+}

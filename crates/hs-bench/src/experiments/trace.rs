@@ -2,28 +2,29 @@
 //! the raw material behind the paper's narrative timeline (heat-up,
 //! emergency, cool-down; or sedation engaging below the emergency).
 //!
-//! ```sh
-//! cargo run --release -p hs-bench --bin trace [stop-and-go|sedation] > trace.csv
-//! ```
+//! The trace is cycle-level, not quantum-level, so it bypasses the
+//! campaign engine: the matrix is empty and the renderer streams the CSV
+//! directly, once per policy. Lines starting with `#` separate the two
+//! sections.
 
-use hs_bench::config;
 use hs_core::{BlockCounts, DtmInput, SelectiveSedation, StopAndGo, ThermalPolicy};
 use hs_cpu::pipeline::FetchGate;
 use hs_cpu::{Cpu, Resource, ThreadId, ALL_RESOURCES};
 use hs_power::{calibration, resource_block, PowerModel};
+use hs_sim::{Campaign, CampaignReport, SimConfig};
 use hs_thermal::{Block, ThermalNetwork};
 use hs_workloads::{SpecWorkload, Workload};
+use std::io::{self, Write};
 
-fn main() {
-    let cfg = config();
-    let which = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "stop-and-go".into());
-    let mut policy: Box<dyn ThermalPolicy> = match which.as_str() {
-        "sedation" => Box::new(SelectiveSedation::new(cfg.sedation, 2)),
-        _ => Box::new(StopAndGo::new(cfg.sedation.thresholds)),
-    };
+pub fn build(_cfg: &SimConfig) -> Campaign {
+    Campaign::new("trace")
+}
 
+fn trace_one(
+    cfg: &SimConfig,
+    mut policy: Box<dyn ThermalPolicy>,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     let mut cpu = Cpu::new(cfg.cpu, cfg.mem);
     let victim = cpu.attach_thread(Workload::Spec(SpecWorkload::Gcc).program(cfg.time_scale));
     let attacker = cpu.attach_thread(Workload::Variant2.program(cfg.time_scale));
@@ -44,7 +45,11 @@ fn main() {
     let mut power_accum = hs_cpu::AccessMatrix::new();
     let mut temps = net.block_temps();
 
-    println!("cycle,t_intreg_k,t_spreader_k,stalled,victim_gated,attacker_gated,victim_rate,attacker_rate");
+    writeln!(out, "# policy: {}", policy.name())?;
+    writeln!(
+        out,
+        "cycle,t_intreg_k,t_spreader_k,stalled,victim_gated,attacker_gated,victim_rate,attacker_rate"
+    )?;
     let steps = (cfg.quantum_cycles / sensor).min(4000);
     for step in 1..=steps {
         let mut block_counts = BlockCounts::new();
@@ -83,7 +88,8 @@ fn main() {
         power_accum.clear();
         net.step(dt, &power);
         temps = net.block_temps();
-        println!(
+        writeln!(
+            out,
             "{},{:.3},{:.3},{},{},{},{:.3},{:.3}",
             step * sensor,
             temps[Block::IntReg.index()],
@@ -93,11 +99,17 @@ fn main() {
             u8::from(gate.is_gated(attacker)),
             rates[0] as f64 / sensor as f64,
             rates[1] as f64 / sensor as f64,
-        );
+        )?;
     }
-    eprintln!(
-        "policy: {} — {} emergencies",
+    writeln!(
+        out,
+        "# policy {}: {} emergencies",
         policy.name(),
         policy.emergencies()
-    );
+    )
+}
+
+pub fn render(cfg: &SimConfig, _report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+    trace_one(cfg, Box::new(StopAndGo::new(cfg.sedation.thresholds)), out)?;
+    trace_one(cfg, Box::new(SelectiveSedation::new(cfg.sedation, 2)), out)
 }

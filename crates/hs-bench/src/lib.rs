@@ -1,20 +1,20 @@
 //! # hs-bench — the experiment harness
 //!
-//! One binary per table/figure of the paper (see `src/bin/`), plus shared
-//! plumbing: configuration via environment variables, ASCII bar rendering,
-//! and the standard run matrix.
+//! Every table and figure of the paper is an *experiment*: a declarative
+//! [`Campaign`](hs_sim::Campaign) run matrix plus a renderer that turns the
+//! aggregated [`CampaignReport`](hs_sim::CampaignReport) into the paper's
+//! table/figure text (see [`experiments`]). One binary — `campaign` —
+//! fronts all of them through a shared CLI ([`cli`]):
 //!
-//! | binary | regenerates |
-//! |--------|-------------|
-//! | `table1` | Table 1 (system parameters) |
-//! | `listings` | Figures 1–2 (malicious code) |
-//! | `fig3` | Figure 3 (solo register-file access rates) |
-//! | `fig4` | Figure 4 (temperature emergencies per quantum) |
-//! | `fig5` | Figure 5 (victim IPC across 11 configurations) |
-//! | `fig6` | Figure 6 (execution-time breakdown) |
-//! | `sweep_packaging` | §5.5 (heat-sink sensitivity) |
-//! | `sweep_thresholds` | §5.6 (threshold robustness) |
-//! | `spec_pairs` | §5.7 (no false positives on SPEC+SPEC pairs) |
+//! ```sh
+//! cargo run --release -p hs-bench --bin campaign -- --list
+//! cargo run --release -p hs-bench --bin campaign -- --only fig5 --jobs 8 --json results/fig5.json
+//! ```
+//!
+//! The engine executes each experiment's matrix on a worker pool; results
+//! are deterministic and ordered by stable run id, so `--jobs 1` and
+//! `--jobs N` produce byte-identical reports (the campaign engine's
+//! determinism contract).
 //!
 //! ## Environment variables
 //!
@@ -27,8 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hs_sim::{HeatSink, PolicyKind, RunSpec, SimConfig, SimStats};
-use hs_workloads::{SpecWorkload, Workload, SPEC_SUITE};
+pub mod cli;
+pub mod experiments;
+
+use hs_sim::SimConfig;
+use hs_workloads::{SpecWorkload, SPEC_SUITE};
+use std::io::{self, Write};
 
 /// The harness configuration, honoring `HS_TIME_SCALE`.
 #[must_use]
@@ -61,24 +65,6 @@ pub fn suite() -> Vec<SpecWorkload> {
     }
 }
 
-/// Runs one workload alone under the given policy and package.
-#[must_use]
-pub fn run_solo(w: Workload, policy: PolicyKind, sink: HeatSink, cfg: SimConfig) -> SimStats {
-    RunSpec::solo(w, policy, sink, cfg).run()
-}
-
-/// Runs `victim` (thread 0) together with `other` (thread 1).
-#[must_use]
-pub fn run_pair(
-    victim: Workload,
-    other: Workload,
-    policy: PolicyKind,
-    sink: HeatSink,
-    cfg: SimConfig,
-) -> SimStats {
-    RunSpec::pair(victim, other, policy, sink, cfg).run()
-}
-
 /// Renders `value` as an ASCII bar scaled so `full` is `width` characters.
 #[must_use]
 pub fn bar(value: f64, full: f64, width: usize) -> String {
@@ -89,15 +75,20 @@ pub fn bar(value: f64, full: f64, width: usize) -> String {
     "#".repeat(n.min(width))
 }
 
-/// Prints the standard harness header for a figure.
-pub fn header(figure: &str, what: &str, cfg: &SimConfig) {
-    println!("== {figure}: {what} ==");
-    println!(
+/// Writes the standard harness header for a figure.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn header(out: &mut dyn Write, figure: &str, what: &str, cfg: &SimConfig) -> io::Result<()> {
+    writeln!(out, "== {figure}: {what} ==")?;
+    writeln!(
+        out,
         "   (time scale {}x, quantum {} Mcycles, suite of {} benchmarks)\n",
         cfg.time_scale,
         cfg.quantum_cycles / 1_000_000,
         suite().len()
-    );
+    )
 }
 
 #[cfg(test)]

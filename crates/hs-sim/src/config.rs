@@ -84,6 +84,17 @@ pub enum HeatSink {
     Realistic,
 }
 
+impl HeatSink {
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HeatSink::Ideal => "ideal",
+            HeatSink::Realistic => "realistic",
+        }
+    }
+}
+
 /// Full simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {

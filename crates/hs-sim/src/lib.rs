@@ -31,28 +31,41 @@
 //! use hs_workloads::{Workload, SpecWorkload};
 //!
 //! // A fast, heavily time-scaled smoke run.
-//! let cfg = SimConfig::scaled(400.0);
-//! let stats = RunSpec {
-//!     workloads: vec![Workload::Spec(SpecWorkload::Gcc)],
-//!     policy: PolicyKind::StopAndGo,
-//!     sink: HeatSink::Realistic,
-//!     config: cfg,
-//! }
-//! .run();
+//! let stats = RunSpec::builder()
+//!     .workload(Workload::Spec(SpecWorkload::Gcc))
+//!     .policy(PolicyKind::StopAndGo)
+//!     .sink(HeatSink::Realistic)
+//!     .config(SimConfig::scaled(400.0))
+//!     .build()
+//!     .expect("valid spec")
+//!     .run();
 //! assert!(stats.thread(0).ipc > 0.0);
 //! ```
+//!
+//! ## Campaigns
+//!
+//! Whole evaluation matrices (the paper's figures are cartesian products of
+//! workloads × policies × sinks) run through the deterministic,
+//! multi-threaded [`campaign`] engine; see its module docs for the
+//! parallel-equals-serial contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod config;
+pub mod error;
+pub mod json;
 pub mod os;
 pub mod runner;
 pub mod simulator;
 pub mod stats;
 
+pub use campaign::{Campaign, CampaignMatrix, CampaignReport, RunRecord};
 pub use config::{FaultConfig, HeatSink, PolicyKind, SimConfig};
+pub use error::SimError;
+pub use json::{Json, JsonError};
 pub use os::{OsScheduler, ScheduleOutcome, SchedulerConfig};
-pub use runner::RunSpec;
+pub use runner::{RunSpec, RunSpecBuilder};
 pub use simulator::Simulator;
 pub use stats::{SimStats, ThreadBreakdown, ThreadSummary};

@@ -184,7 +184,8 @@ impl OsScheduler {
             }
             let mut sim = Simulator::new(self.cfg, self.policy, self.sink);
             for &i in &picked {
-                sim.attach(self.threads[i].workload);
+                sim.attach(self.threads[i].workload)
+                    .expect("pick() never exceeds the context count");
             }
             let stats = sim.run_quantum();
             executed += 1;

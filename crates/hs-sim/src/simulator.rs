@@ -1,6 +1,7 @@
 //! The quantum simulator: pipeline + power + thermal + DTM in one loop.
 
 use crate::config::{HeatSink, PolicyKind, SimConfig};
+use crate::error::SimError;
 use crate::stats::{SimStats, ThreadBreakdown, ThreadSummary};
 use hs_core::{
     BlockCounts, DtmInput, FaultTolerantDtm, GlobalDvfs, NoDtm, RateCap, ReportKind,
@@ -32,10 +33,31 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid or the policy/package
+    /// combination is rejected (see [`Simulator::try_new`]).
     #[must_use]
     pub fn new(cfg: SimConfig, policy: PolicyKind, sink: HeatSink) -> Self {
-        cfg.validate();
+        match Self::try_new(cfg, policy, sink) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a simulator with the requested DTM policy and package,
+    /// reporting configuration problems instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the configuration fails
+    /// [`SimConfig::try_validate`], and [`SimError::RunawayCombination`]
+    /// for [`PolicyKind::None`] on [`HeatSink::Realistic`] — with no DTM
+    /// and a finite heat-removal rate nothing bounds the temperature, so
+    /// the run would silently produce a meaningless thermal runaway.
+    pub fn try_new(cfg: SimConfig, policy: PolicyKind, sink: HeatSink) -> Result<Self, SimError> {
+        cfg.try_validate()?;
+        if policy == PolicyKind::None && sink == HeatSink::Realistic {
+            return Err(SimError::RunawayCombination);
+        }
         let cpu = Cpu::new(cfg.cpu, cfg.mem);
         let model = PowerModel::new(cfg.energy);
         let thermal = match sink {
@@ -56,7 +78,7 @@ impl Simulator {
                 cfg.cpu.contexts as usize,
             )),
         };
-        Simulator {
+        Ok(Simulator {
             cfg,
             cpu,
             model,
@@ -64,18 +86,26 @@ impl Simulator {
             sensors: SensorBank::with_faults(cfg.sensors, cfg.faults.sensors),
             policy,
             names: Vec::new(),
-        }
+        })
     }
 
     /// Attaches a workload to the next free hardware context.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if all contexts are occupied.
-    pub fn attach(&mut self, workload: Workload) -> ThreadId {
+    /// Returns [`SimError::TooManyWorkloads`] when all `cpu.contexts`
+    /// contexts are occupied; the workload is not attached.
+    pub fn attach(&mut self, workload: Workload) -> Result<ThreadId, SimError> {
+        if self.cpu.num_threads() as u32 >= self.cfg.cpu.contexts {
+            return Err(SimError::TooManyWorkloads {
+                requested: self.cpu.num_threads() + 1,
+                contexts: self.cfg.cpu.contexts,
+            });
+        }
         self.names.push(workload.name());
-        self.cpu
-            .attach_thread(workload.program_with(&self.cfg.mem, self.cfg.time_scale))
+        Ok(self
+            .cpu
+            .attach_thread(workload.program_with(&self.cfg.mem, self.cfg.time_scale)))
     }
 
     /// The configuration in use.
@@ -91,7 +121,21 @@ impl Simulator {
     ///
     /// Panics if no workload has been attached.
     pub fn run_quantum(&mut self) -> SimStats {
-        assert!(!self.names.is_empty(), "attach at least one workload");
+        match self.try_run_quantum() {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the warm-up phase plus one measured quantum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoWorkloads`] if nothing has been attached.
+    pub fn try_run_quantum(&mut self) -> Result<SimStats, SimError> {
+        if self.names.is_empty() {
+            return Err(SimError::NoWorkloads);
+        }
         let nthreads = self.cpu.num_threads();
         let quantum = self.cfg.quantum_cycles;
         let sample = self.cfg.sedation.sample_period_cycles;
@@ -230,14 +274,14 @@ impl Simulator {
                 }
             })
             .collect();
-        SimStats {
+        Ok(SimStats {
             cycles: quantum,
             threads,
             emergencies,
             peak_temps,
             reports,
-            policy: self.policy.name(),
-        }
+            policy: self.policy.name().to_string(),
+        })
     }
 }
 

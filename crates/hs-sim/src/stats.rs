@@ -1,7 +1,9 @@
 //! Quantum-level statistics: everything the paper's figures report.
 
-use hs_core::OsReport;
-use hs_thermal::NUM_BLOCKS;
+use crate::json::{Json, JsonError};
+use hs_core::{OsReport, ReportKind};
+use hs_cpu::ThreadId;
+use hs_thermal::{ALL_BLOCKS, NUM_BLOCKS};
 
 /// Where a thread's cycles went during the quantum (Figure 6's breakdown).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -85,7 +87,7 @@ pub struct SimStats {
     /// All OS reports the policy produced.
     pub reports: Vec<OsReport>,
     /// The policy that supervised the run.
-    pub policy: &'static str,
+    pub policy: String,
 }
 
 impl SimStats {
@@ -113,6 +115,182 @@ impl SimStats {
     #[must_use]
     pub fn count_kind(&self, kind: hs_core::ReportKind) -> usize {
         self.reports.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Serializes to the campaign-artifact JSON shape. Deterministic: the
+    /// same stats always produce byte-identical text (floats use shortest
+    /// round-trip formatting).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(t.name.clone())),
+                    ("committed".into(), Json::U64(t.committed)),
+                    ("ipc".into(), Json::f64(t.ipc)),
+                    ("int_regfile_rate".into(), Json::f64(t.int_regfile_rate)),
+                    (
+                        "breakdown".into(),
+                        Json::Obj(vec![
+                            ("normal".into(), Json::U64(t.breakdown.normal_cycles)),
+                            (
+                                "global_stall".into(),
+                                Json::U64(t.breakdown.global_stall_cycles),
+                            ),
+                            ("sedated".into(), Json::U64(t.breakdown.sedated_cycles)),
+                        ]),
+                    ),
+                    ("sedations".into(), Json::U64(t.sedations)),
+                ])
+            })
+            .collect();
+        let reports = self
+            .reports
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("cycle".into(), Json::U64(r.cycle)),
+                    (
+                        "thread".into(),
+                        match r.thread {
+                            Some(t) => Json::U64(u64::from(t.0)),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("block".into(), Json::Str(r.block.name().into())),
+                    ("kind".into(), Json::Str(r.kind.name().into())),
+                    (
+                        "weighted_avg".into(),
+                        match r.weighted_avg {
+                            Some(w) => Json::f64(w),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("temperature_k".into(), Json::f64(r.temperature_k)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("cycles".into(), Json::U64(self.cycles)),
+            ("policy".into(), Json::Str(self.policy.clone())),
+            ("emergencies".into(), Json::U64(self.emergencies)),
+            (
+                "peak_temps".into(),
+                Json::Arr(self.peak_temps.iter().map(|&t| Json::f64(t)).collect()),
+            ),
+            ("threads".into(), Json::Arr(threads)),
+            ("reports".into(), Json::Arr(reports)),
+        ])
+    }
+
+    /// Reconstructs stats from [`SimStats::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first missing or mistyped
+    /// member.
+    pub fn from_json(v: &Json) -> Result<SimStats, JsonError> {
+        let fail = |what: &str| JsonError {
+            offset: 0,
+            message: format!("SimStats: {what}"),
+        };
+        let u64_of = |v: &Json, key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| fail(&format!("missing integer `{key}`")))
+        };
+        let f64_of = |v: &Json, key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail(&format!("missing number `{key}`")))
+        };
+        let str_of = |v: &Json, key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| fail(&format!("missing string `{key}`")))
+        };
+
+        let peaks = v
+            .get("peak_temps")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| fail("missing array `peak_temps`"))?;
+        if peaks.len() != NUM_BLOCKS {
+            return Err(fail("peak_temps has the wrong block count"));
+        }
+        let mut peak_temps = [0.0; NUM_BLOCKS];
+        for (slot, p) in peak_temps.iter_mut().zip(peaks) {
+            *slot = p.as_f64().ok_or_else(|| fail("non-numeric peak temp"))?;
+        }
+
+        let mut threads = Vec::new();
+        for t in v
+            .get("threads")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| fail("missing array `threads`"))?
+        {
+            let b = t
+                .get("breakdown")
+                .ok_or_else(|| fail("thread missing `breakdown`"))?;
+            threads.push(ThreadSummary {
+                name: str_of(t, "name")?.to_string(),
+                committed: u64_of(t, "committed")?,
+                ipc: f64_of(t, "ipc")?,
+                int_regfile_rate: f64_of(t, "int_regfile_rate")?,
+                breakdown: ThreadBreakdown {
+                    normal_cycles: u64_of(b, "normal")?,
+                    global_stall_cycles: u64_of(b, "global_stall")?,
+                    sedated_cycles: u64_of(b, "sedated")?,
+                },
+                sedations: u64_of(t, "sedations")?,
+            });
+        }
+
+        let mut reports = Vec::new();
+        for r in v
+            .get("reports")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| fail("missing array `reports`"))?
+        {
+            let block_name = str_of(r, "block")?;
+            let block = ALL_BLOCKS
+                .into_iter()
+                .find(|b| b.name() == block_name)
+                .ok_or_else(|| fail(&format!("unknown block `{block_name}`")))?;
+            let kind_name = str_of(r, "kind")?;
+            let kind = ReportKind::from_name(&kind_name)
+                .ok_or_else(|| fail(&format!("unknown report kind `{kind_name}`")))?;
+            let thread = match r.get("thread") {
+                Some(Json::Null) | None => None,
+                Some(t) => Some(ThreadId(
+                    u8::try_from(t.as_u64().ok_or_else(|| fail("bad thread id"))?)
+                        .map_err(|_| fail("thread id out of range"))?,
+                )),
+            };
+            let weighted_avg = match r.get("weighted_avg") {
+                Some(Json::Null) | None => None,
+                Some(w) => Some(w.as_f64().ok_or_else(|| fail("bad weighted_avg"))?),
+            };
+            reports.push(OsReport {
+                cycle: u64_of(r, "cycle")?,
+                thread,
+                block,
+                kind,
+                weighted_avg,
+                temperature_k: f64_of(r, "temperature_k")?,
+            });
+        }
+
+        Ok(SimStats {
+            cycles: u64_of(v, "cycles")?,
+            threads,
+            emergencies: u64_of(v, "emergencies")?,
+            peak_temps,
+            reports,
+            policy: str_of(v, "policy")?.to_string(),
+        })
     }
 }
 

@@ -13,7 +13,7 @@ use heatstroke::prelude::*;
 use heatstroke::sim::FaultConfig;
 use heatstroke::thermal::{SensorFault, SensorFaultKind, SensorFaultPlan};
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let mut cfg = SimConfig::scaled(200.0);
     cfg.warmup_cycles = 1_000_000;
     let emergency = cfg.sedation.thresholds.emergency_k;
@@ -33,14 +33,13 @@ fn main() {
     println!("emergency threshold: {emergency:.1} K\n");
 
     for policy in [PolicyKind::SelectiveSedation, PolicyKind::FaultTolerant] {
-        let stats = RunSpec::pair(
-            Workload::Spec(SpecWorkload::Gcc),
-            Workload::Variant2,
-            policy,
-            HeatSink::Realistic,
-            cfg,
-        )
-        .run();
+        let stats = RunSpec::builder()
+            .workloads([Workload::Spec(SpecWorkload::Gcc), Workload::Variant2])
+            .policy(policy)
+            .sink(HeatSink::Realistic)
+            .config(cfg)
+            .build()?
+            .try_run()?;
 
         let peak = stats
             .peak_temps
@@ -75,4 +74,5 @@ fn main() {
          sensor is failed it assumes worst-case heating and duty-cycles the\n\
          pipeline, so the attacker can no longer exploit the blind spot."
     );
+    Ok(())
 }

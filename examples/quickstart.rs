@@ -7,7 +7,7 @@
 
 use heatstroke::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // A heavily time-scaled configuration so this example finishes in a
     // few seconds. `SimConfig::experiment()` (25×) is the harness default;
     // `SimConfig::paper()` is full fidelity.
@@ -21,8 +21,16 @@ fn main() {
         cfg.time_scale
     );
 
-    // 1. The victim alone: the baseline.
-    let solo = RunSpec::solo(victim, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).run();
+    // 1. The victim alone: the baseline. The builder validates the
+    // combination up front and `try_run` returns a typed `SimError`
+    // instead of panicking.
+    let solo = RunSpec::builder()
+        .workload(victim)
+        .policy(PolicyKind::StopAndGo)
+        .sink(HeatSink::Realistic)
+        .config(cfg)
+        .build()?
+        .try_run()?;
     println!(
         "solo             : IPC {:.2}, {} temperature emergencies",
         solo.thread(0).ipc,
@@ -30,14 +38,13 @@ fn main() {
     );
 
     // 2. Under attack, defended only by stop-and-go: heat stroke.
-    let attacked = RunSpec::pair(
-        victim,
-        Workload::Variant2,
-        PolicyKind::StopAndGo,
-        HeatSink::Realistic,
-        cfg,
-    )
-    .run();
+    let attacked = RunSpec::builder()
+        .workloads([victim, Workload::Variant2])
+        .policy(PolicyKind::StopAndGo)
+        .sink(HeatSink::Realistic)
+        .config(cfg)
+        .build()?
+        .try_run()?;
     println!(
         "under attack     : IPC {:.2} ({:.0}% degradation), {} emergencies, {:.0}% of the quantum stalled",
         attacked.thread(0).ipc,
@@ -47,14 +54,13 @@ fn main() {
     );
 
     // 3. Under attack with selective sedation: the defense.
-    let defended = RunSpec::pair(
-        victim,
-        Workload::Variant2,
-        PolicyKind::SelectiveSedation,
-        HeatSink::Realistic,
-        cfg,
-    )
-    .run();
+    let defended = RunSpec::builder()
+        .workloads([victim, Workload::Variant2])
+        .policy(PolicyKind::SelectiveSedation)
+        .sink(HeatSink::Realistic)
+        .config(cfg)
+        .build()?
+        .try_run()?;
     println!(
         "with sedation    : IPC {:.2} ({:.0}% of solo restored), {} emergencies",
         defended.thread(0).ipc,
@@ -75,4 +81,5 @@ fn main() {
     {
         println!("\nfirst OS report  : {first}");
     }
+    Ok(())
 }

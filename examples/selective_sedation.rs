@@ -6,11 +6,13 @@
 //! ```
 //!
 //! (Uses a high time-scale and a subset of the suite so it finishes in
-//! about a minute; the full harness lives in `crates/hs-bench`.)
+//! about a minute; the full harness lives in `crates/hs-bench`. The whole
+//! matrix is declared up front and executed by the campaign engine on a
+//! worker pool — the table is identical for any worker count.)
 
 use heatstroke::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let mut cfg = SimConfig::scaled(200.0);
     cfg.warmup_cycles = 1_500_000;
 
@@ -22,6 +24,36 @@ fn main() {
         SpecWorkload::Twolf,
     ];
 
+    // Declare the 15-run matrix, then let the engine schedule it.
+    let mut campaign = Campaign::new("selective_sedation_example");
+    for w in members {
+        let victim = Workload::Spec(w);
+        let solo = RunSpec::builder()
+            .workload(victim)
+            .policy(PolicyKind::StopAndGo)
+            .sink(HeatSink::Realistic)
+            .config(cfg)
+            .build()?;
+        let attacked = RunSpec::builder()
+            .workloads([victim, Workload::Variant2])
+            .policy(PolicyKind::StopAndGo)
+            .sink(HeatSink::Realistic)
+            .config(cfg)
+            .build()?;
+        let defended = RunSpec::builder()
+            .workloads([victim, Workload::Variant2])
+            .policy(PolicyKind::SelectiveSedation)
+            .sink(HeatSink::Realistic)
+            .config(cfg)
+            .build()?;
+        campaign
+            .push(format!("{}/solo", w.name()), solo)
+            .push(format!("{}/attacked", w.name()), attacked)
+            .push(format!("{}/defended", w.name()), defended);
+    }
+    let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let report = campaign.run(jobs)?;
+
     println!(
         "{:>8} | {:>6} | {:>13} | {:>13} | {:>10}",
         "victim", "solo", "attacked(s&g)", "sedation", "restored"
@@ -31,28 +63,15 @@ fn main() {
     let mut degradations = Vec::new();
     let mut restorations = Vec::new();
     for w in members {
-        let victim = Workload::Spec(w);
-        let solo = RunSpec::solo(victim, PolicyKind::StopAndGo, HeatSink::Realistic, cfg).run();
-        let attacked = RunSpec::pair(
-            victim,
-            Workload::Variant2,
-            PolicyKind::StopAndGo,
-            HeatSink::Realistic,
-            cfg,
-        )
-        .run();
-        let defended = RunSpec::pair(
-            victim,
-            Workload::Variant2,
-            PolicyKind::SelectiveSedation,
-            HeatSink::Realistic,
-            cfg,
-        )
-        .run();
-
-        let s = solo.thread(0).ipc;
-        let a = attacked.thread(0).ipc;
-        let d = defended.thread(0).ipc;
+        let s = report.stats(&format!("{}/solo", w.name())).thread(0).ipc;
+        let a = report
+            .stats(&format!("{}/attacked", w.name()))
+            .thread(0)
+            .ipc;
+        let d = report
+            .stats(&format!("{}/defended", w.name()))
+            .thread(0)
+            .ipc;
         degradations.push(1.0 - a / s);
         restorations.push(d / s);
         println!(
@@ -72,4 +91,5 @@ fn main() {
         100.0 * avg(degradations.as_slice()),
         100.0 * avg(&restorations)
     );
+    Ok(())
 }

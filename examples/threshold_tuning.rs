@@ -8,34 +8,33 @@
 
 use heatstroke::prelude::*;
 
-fn run_with_thresholds(upper: f64, lower: f64, cfg: SimConfig) -> (f64, u64) {
+fn run_with_thresholds(upper: f64, lower: f64, cfg: SimConfig) -> Result<(f64, u64), SimError> {
     let mut cfg = cfg;
     cfg.sedation.thresholds.upper_k = upper;
     cfg.sedation.thresholds.lower_k = lower;
-    let stats = RunSpec::pair(
-        Workload::Spec(SpecWorkload::Gcc),
-        Workload::Variant2,
-        PolicyKind::SelectiveSedation,
-        HeatSink::Realistic,
-        cfg,
-    )
-    .run();
-    (stats.thread(0).ipc, stats.emergencies)
+    let stats = RunSpec::builder()
+        .workloads([Workload::Spec(SpecWorkload::Gcc), Workload::Variant2])
+        .policy(PolicyKind::SelectiveSedation)
+        .sink(HeatSink::Realistic)
+        .config(cfg)
+        .build()?
+        .try_run()?;
+    Ok((stats.thread(0).ipc, stats.emergencies))
 }
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let mut cfg = SimConfig::scaled(200.0);
     cfg.warmup_cycles = 1_500_000;
 
-    let solo = RunSpec::solo(
-        Workload::Spec(SpecWorkload::Gcc),
-        PolicyKind::StopAndGo,
-        HeatSink::Realistic,
-        cfg,
-    )
-    .run()
-    .thread(0)
-    .ipc;
+    let solo = RunSpec::builder()
+        .workload(Workload::Spec(SpecWorkload::Gcc))
+        .policy(PolicyKind::StopAndGo)
+        .sink(HeatSink::Realistic)
+        .config(cfg)
+        .build()?
+        .try_run()?
+        .thread(0)
+        .ipc;
 
     println!("baseline solo IPC: {solo:.2}\n");
     println!(
@@ -50,7 +49,7 @@ fn main() {
         (357.0, 355.5),
         (357.5, 356.0),
     ] {
-        let (ipc, emergencies) = run_with_thresholds(upper, lower, cfg);
+        let (ipc, emergencies) = run_with_thresholds(upper, lower, cfg)?;
         println!(
             "{upper:>7.1} {lower:>7.1} | {ipc:>10.2} {emergencies:>11}{}",
             if (upper, lower) == (356.0, 355.0) {
@@ -64,4 +63,5 @@ fn main() {
         "\nAcross the sweep the victim stays near its solo IPC: the defense is\n\
          threshold-robust because detection is temperature-gated, not rate-gated."
     );
+    Ok(())
 }

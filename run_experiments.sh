@@ -2,27 +2,40 @@
 # Regenerates every table and figure; outputs under results/.
 #
 # Usage:
-#   ./run_experiments.sh              # run the full matrix
-#   ./run_experiments.sh --only fig5  # rerun a single experiment
+#   ./run_experiments.sh                      # run the full matrix
+#   ./run_experiments.sh --only fig5          # rerun a single experiment
+#   ./run_experiments.sh --jobs 8             # campaign engine worker count
+#
+# The experiment menu is not hardcoded here: it is regenerated from
+# `campaign --list`, so a new experiment registered in hs-bench shows up
+# automatically (the old hardcoded array had drifted out of date).
 set -euo pipefail
 cd "$(dirname "$0")"
 BIN=target/release
 
-EXPERIMENTS=(table1 listings fig3 fig4 fig5 fig6 sweep_packaging sweep_thresholds
-             spec_pairs rate_cap_fails sweep_monitor sweep_fetch_policy sweep_faults)
-
 only=""
+jobs=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --only)
       [ $# -ge 2 ] || { echo "--only requires an experiment name" >&2; exit 2; }
       only="$2"; shift 2 ;;
+    --jobs)
+      [ $# -ge 2 ] || { echo "--jobs requires a number" >&2; exit 2; }
+      jobs="$2"; shift 2 ;;
     *)
       echo "unknown argument: $1" >&2
-      echo "usage: $0 [--only <experiment>]" >&2
+      echo "usage: $0 [--only <experiment>] [--jobs <n>]" >&2
       exit 2 ;;
   esac
 done
+
+[ -x "$BIN/campaign" ] || {
+  echo "$BIN/campaign not found — build first: cargo build --release" >&2
+  exit 2
+}
+
+mapfile -t EXPERIMENTS < <("$BIN/campaign" --list)
 
 if [ -n "$only" ]; then
   found=0
@@ -36,15 +49,19 @@ if [ -n "$only" ]; then
   EXPERIMENTS=("$only")
 fi
 
+jobs_args=()
+[ -n "$jobs" ] && jobs_args=(--jobs "$jobs")
+
 mkdir -p results
 failed=()
 for exp in "${EXPERIMENTS[@]}"; do
   echo "=== $exp ($(date +%H:%M:%S)) ==="
-  if "$BIN/$exp" > "results/$exp.txt" 2>&1; then
+  if "$BIN/campaign" --only "$exp" "${jobs_args[@]}" --json "results/$exp.json" \
+      > "results/$exp.txt" 2> "results/$exp.log"; then
     echo "    done"
   else
     rc=$?
-    echo "    FAILED (exit $rc) — see results/$exp.txt"
+    echo "    FAILED (exit $rc) — see results/$exp.txt and results/$exp.log"
     failed+=("$exp")
   fi
 done

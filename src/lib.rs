@@ -33,22 +33,30 @@
 //!
 //! // Co-schedule an innocent benchmark with the Figure-2 attacker under
 //! // the paper's defense.
-//! let stats = RunSpec::pair(
-//!     Workload::Spec(SpecWorkload::Gcc),
-//!     Workload::Variant2,
-//!     PolicyKind::SelectiveSedation,
-//!     HeatSink::Realistic,
-//!     SimConfig::experiment(),
-//! )
-//! .run();
+//! let stats = RunSpec::builder()
+//!     .workload(Workload::Spec(SpecWorkload::Gcc))
+//!     .workload(Workload::Variant2)
+//!     .policy(PolicyKind::SelectiveSedation)
+//!     .sink(HeatSink::Realistic)
+//!     .config(SimConfig::experiment())
+//!     .build()?
+//!     .try_run()?;
 //!
 //! println!("victim IPC {:.2}, attacker sedated {:.0}% of the quantum",
 //!     stats.thread(0).ipc,
 //!     100.0 * stats.thread(1).breakdown.sedated_fraction());
+//! # Ok::<(), heatstroke::sim::SimError>(())
+//! ```
+//!
+//! Whole evaluation matrices run through the deterministic, multi-threaded
+//! campaign engine behind one CLI:
+//!
+//! ```sh
+//! cargo run --release -p hs-bench --bin campaign -- --only fig5 --jobs 8 --json results/fig5.json
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `crates/hs-bench` for the
-//! binaries that regenerate every figure of the paper.
+//! experiment registry regenerating every figure of the paper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -72,7 +80,8 @@ pub mod prelude {
     pub use hs_mem::MemConfig;
     pub use hs_power::{EnergyTable, PowerModel};
     pub use hs_sim::{
-        HeatSink, OsScheduler, PolicyKind, RunSpec, SchedulerConfig, SimConfig, SimStats, Simulator,
+        Campaign, CampaignMatrix, CampaignReport, HeatSink, OsScheduler, PolicyKind, RunSpec,
+        RunSpecBuilder, SchedulerConfig, SimConfig, SimError, SimStats, Simulator,
     };
     pub use hs_thermal::{Block, PowerVector, ThermalConfig, ThermalNetwork};
     pub use hs_workloads::{SpecWorkload, Workload, SPEC_SUITE};

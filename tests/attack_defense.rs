@@ -202,17 +202,21 @@ fn os_reports_identify_the_attacker() {
 
 #[test]
 fn attack_works_against_every_policyless_baseline() {
-    // Sanity: with DTM disabled and a realistic sink, the attack drives the
-    // register file past the emergency and nothing stops it.
+    // With DTM disabled and a realistic sink, the attack drives the register
+    // file past the emergency and nothing stops it — a guaranteed thermal
+    // runaway. The redesigned API encodes that claim as an invariant: the
+    // combination is refused with a typed error at every entry point.
     let cfg = fast();
-    let stats = RunSpec::pair(
-        Workload::Spec(SpecWorkload::Gcc),
-        Workload::Variant2,
-        PolicyKind::None,
-        HeatSink::Realistic,
-        cfg,
-    )
-    .run();
-    assert!(stats.emergencies > 0);
-    assert!(stats.peak_temp() > 358.5);
+    let err = RunSpec::builder()
+        .workloads([Workload::Spec(SpecWorkload::Gcc), Workload::Variant2])
+        .policy(PolicyKind::None)
+        .sink(HeatSink::Realistic)
+        .config(cfg)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, SimError::RunawayCombination);
+    assert!(matches!(
+        Simulator::try_new(cfg, PolicyKind::None, HeatSink::Realistic),
+        Err(SimError::RunawayCombination)
+    ));
 }

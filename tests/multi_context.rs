@@ -19,18 +19,19 @@ fn fast2() -> SimConfig {
 
 #[test]
 fn four_context_smt_runs() {
-    let stats = RunSpec {
-        workloads: vec![
+    let stats = RunSpec::builder()
+        .workloads([
             Workload::Spec(SpecWorkload::Gcc),
             Workload::Spec(SpecWorkload::Eon),
             Workload::Spec(SpecWorkload::Mesa),
             Workload::Spec(SpecWorkload::Twolf),
-        ],
-        policy: PolicyKind::StopAndGo,
-        sink: HeatSink::Realistic,
-        config: fast4(),
-    }
-    .run();
+        ])
+        .policy(PolicyKind::StopAndGo)
+        .sink(HeatSink::Realistic)
+        .config(fast4())
+        .build()
+        .expect("4 workloads fit 4 contexts")
+        .run();
     assert_eq!(stats.threads.len(), 4);
     for t in &stats.threads {
         assert!(t.ipc > 0.05, "{} starved: {}", t.name, t.ipc);
@@ -41,18 +42,19 @@ fn four_context_smt_runs() {
 fn two_attackers_both_get_sedated() {
     // With two malicious threads, sedating the first is not enough; the
     // re-examination after 2x the cooling time must catch the second.
-    let stats = RunSpec {
-        workloads: vec![
+    let stats = RunSpec::builder()
+        .workloads([
             Workload::Spec(SpecWorkload::Gcc),
             Workload::Spec(SpecWorkload::Mesa),
             Workload::Variant2,
             Workload::Variant1,
-        ],
-        policy: PolicyKind::SelectiveSedation,
-        sink: HeatSink::Realistic,
-        config: fast4(),
-    }
-    .run();
+        ])
+        .policy(PolicyKind::SelectiveSedation)
+        .sink(HeatSink::Realistic)
+        .config(fast4())
+        .build()
+        .expect("4 workloads fit 4 contexts")
+        .run();
     let gcc = stats.thread(0);
     let mesa = stats.thread(1);
     let v2 = stats.thread(2);
@@ -133,17 +135,18 @@ fn dvfs_and_stop_and_go_are_comparable() {
 #[test]
 fn three_victims_one_attacker_all_recover_under_sedation() {
     let cfg = fast4();
-    let spec = RunSpec {
-        workloads: vec![
+    let spec = RunSpec::builder()
+        .workloads([
             Workload::Spec(SpecWorkload::Gcc),
             Workload::Spec(SpecWorkload::Eon),
             Workload::Spec(SpecWorkload::Twolf),
             Workload::Variant2,
-        ],
-        policy: PolicyKind::SelectiveSedation,
-        sink: HeatSink::Realistic,
-        config: cfg,
-    };
+        ])
+        .policy(PolicyKind::SelectiveSedation)
+        .sink(HeatSink::Realistic)
+        .config(cfg)
+        .build()
+        .expect("4 workloads fit 4 contexts");
     let stats = spec.run();
     let attacker = stats.thread(3);
     assert!(attacker.sedations > 0, "attacker must be identified");
