@@ -36,11 +36,16 @@ pub enum ReportKind {
     WatchdogHalt,
     /// Sensor quorum was restored; the watchdog released the halt.
     WatchdogResumed,
+    /// Static admission screening flagged the thread's program as a likely
+    /// power-density attack before it ran a single cycle.
+    AdmissionFlagged,
+    /// Static admission screening sedated the thread from cycle 0.
+    AdmissionSedated,
 }
 
 /// Every report kind, in declaration order (for serializers that map kinds
 /// to and from their stable names).
-pub const ALL_REPORT_KINDS: [ReportKind; 11] = [
+pub const ALL_REPORT_KINDS: [ReportKind; 13] = [
     ReportKind::Sedated,
     ReportKind::Released,
     ReportKind::Emergency,
@@ -52,6 +57,8 @@ pub const ALL_REPORT_KINDS: [ReportKind; 11] = [
     ReportKind::FallbackReleased,
     ReportKind::WatchdogHalt,
     ReportKind::WatchdogResumed,
+    ReportKind::AdmissionFlagged,
+    ReportKind::AdmissionSedated,
 ];
 
 impl ReportKind {
@@ -70,6 +77,8 @@ impl ReportKind {
             ReportKind::FallbackReleased => "fallback released",
             ReportKind::WatchdogHalt => "watchdog halt",
             ReportKind::WatchdogResumed => "watchdog resumed",
+            ReportKind::AdmissionFlagged => "admission flagged",
+            ReportKind::AdmissionSedated => "admission sedated",
         }
     }
 

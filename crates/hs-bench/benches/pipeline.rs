@@ -86,7 +86,7 @@ fn bench_bpred() {
     bench("bpred/predict-update", 100_000, 1, || {
         i = i.wrapping_add(64);
         let taken = p.predict(i);
-        p.update(i, i % 3 != 0);
+        p.update(i, !i.is_multiple_of(3));
         black_box(taken);
     });
 }

@@ -6,7 +6,7 @@
 //!
 //! * `--list` — print the experiment names, one per line (consumed by
 //!   `run_experiments.sh` to build its menu).
-//! * `--only a,b,c` — run only the named experiments (default: all 14).
+//! * `--only a,b,c` — run only the named experiments (default: all 15).
 //! * `--jobs N` — worker threads for the campaign engine (default: the
 //!   machine's available parallelism). Results are identical for every
 //!   `N`; see the engine's determinism contract.
@@ -20,7 +20,8 @@
 //! stderr, so stdout stays byte-deterministic.
 
 use crate::experiments::{find, Experiment, EXPERIMENTS};
-use hs_sim::CampaignReport;
+use hs_sim::admission::check_analysis_artifact;
+use hs_sim::{CampaignReport, Json};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -60,7 +61,7 @@ impl Options {
                         if find(n).is_none() {
                             return Err(format!(
                                 "unknown experiment `{n}`; valid names:\n  {}",
-                                EXPERIMENTS.map(|e| e.name).join("\n  ")
+                                EXPERIMENTS.iter().map(|e| e.name).collect::<Vec<_>>().join("\n  ")
                             ));
                         }
                     }
@@ -124,22 +125,36 @@ impl Options {
     }
 }
 
-/// Validates a previously written artifact.
+/// Validates a previously written artifact: a campaign report, or the
+/// `analyze` experiment's static-screening document.
 fn check(path: &Path) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let report = CampaignReport::from_json(&text)
-        .map_err(|e| format!("{} is not a campaign artifact: {e}", path.display()))?;
-    let committed: u64 = report
-        .runs
+    if let Ok(report) = CampaignReport::from_json(&text) {
+        let committed: u64 = report
+            .runs
+            .iter()
+            .flat_map(|r| &r.stats.threads)
+            .map(|t| t.committed)
+            .sum();
+        println!(
+            "ok: campaign `{}`, {} runs, {committed} instructions committed",
+            report.name,
+            report.runs.len(),
+        );
+        return Ok(());
+    }
+    let doc = Json::parse(&text)
+        .map_err(|e| format!("{} is not a recognized artifact: {e}", path.display()))?;
+    let verdicts = check_analysis_artifact(&doc)
+        .map_err(|e| format!("{} is not a recognized artifact: {e}", path.display()))?;
+    let attacks = verdicts
         .iter()
-        .flat_map(|r| &r.stats.threads)
-        .map(|t| t.committed)
-        .sum();
+        .filter(|(_, v)| *v == hs_analyze::Verdict::HeatStroke)
+        .count();
     println!(
-        "ok: campaign `{}`, {} runs, {committed} instructions committed",
-        report.name,
-        report.runs.len(),
+        "ok: analyze artifact, {} programs, {attacks} heat-stroke verdicts",
+        verdicts.len(),
     );
     Ok(())
 }
@@ -197,7 +212,11 @@ pub fn run(args: impl IntoIterator<Item = String>) -> Result<(), String> {
                 std::fs::create_dir_all(dir)
                     .map_err(|err| format!("cannot create {}: {err}", dir.display()))?;
             }
-            std::fs::write(&path, report.to_json())
+            let artifact = match e.artifact {
+                Some(build_artifact) => build_artifact(&cfg),
+                None => report.to_json(),
+            };
+            std::fs::write(&path, artifact)
                 .map_err(|err| format!("cannot write {}: {err}", path.display()))?;
             eprintln!("      wrote {}", path.display());
         }

@@ -1,0 +1,103 @@
+//! `campaign analyze`: static power-density screening of every bundled
+//! workload.
+//!
+//! No quantum simulation happens here — the matrix is empty (like
+//! `listings`) and the renderer runs `hs-analyze` directly over each
+//! program, printing a verdict table. The `--json` artifact is the
+//! machine-readable version CI asserts against: the three malicious
+//! variants must classify `heat-stroke` and every SPEC-like kernel
+//! `benign`.
+
+use hs_sim::admission::{analysis_to_json, analyzer_config, screen};
+use hs_sim::{Campaign, CampaignReport, Json, SimConfig};
+use hs_workloads::Workload;
+use std::io::{self, Write};
+
+pub(super) fn build(_cfg: &SimConfig) -> Campaign {
+    Campaign::new("analyze")
+}
+
+/// Every bundled workload, suite first (honoring `HS_SUBSET`), then the
+/// three malicious variants.
+fn programs() -> Vec<Workload> {
+    let mut all: Vec<Workload> = crate::suite().into_iter().map(Workload::Spec).collect();
+    all.extend([Workload::Variant1, Workload::Variant2, Workload::Variant3]);
+    all
+}
+
+pub(super) fn render(
+    cfg: &SimConfig,
+    _report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    let acfg = analyzer_config(cfg);
+    writeln!(
+        out,
+        "Static screening of every bundled workload (time scale {}, \
+         sustain threshold {:.0} cycles)\n",
+        cfg.time_scale,
+        acfg.sustain_threshold_cycles()
+    )?;
+    writeln!(
+        out,
+        "{:<10} {:>11} {:>9} {:>9} {:>13}  verdict",
+        "program", "hot block", "est K", "rf rate", "sustain"
+    )?;
+    for w in programs() {
+        let program = w.program_with(&cfg.mem, cfg.time_scale);
+        let a = screen(&program, cfg);
+        let sustain = a
+            .loops
+            .iter()
+            .map(|l| l.sustain_cycles)
+            .fold(0.0f64, f64::max);
+        let sustain = if sustain.is_finite() {
+            format!("{sustain:.0}")
+        } else {
+            "forever".to_string()
+        };
+        writeln!(
+            out,
+            "{:<10} {:>11} {:>9.1} {:>9.2} {:>13}  {}",
+            w.name(),
+            a.hottest_block.name(),
+            a.est_temp_k,
+            a.int_regfile_rate,
+            sustain,
+            a.verdict
+        )?;
+    }
+    writeln!(
+        out,
+        "\nA program is heat-stroke only when some loop is both hot (steady \
+         state at/above\nthe emergency threshold plus the 2 K attack margin) \
+         and sustained (trip x\ncycles past the threshold above)."
+    )
+}
+
+/// The machine-readable artifact (`--json`): one entry per workload.
+pub(super) fn artifact(cfg: &SimConfig) -> String {
+    let acfg = analyzer_config(cfg);
+    let entries = programs()
+        .into_iter()
+        .map(|w| {
+            let program = w.program_with(&cfg.mem, cfg.time_scale);
+            let a = screen(&program, cfg);
+            Json::Obj(vec![
+                ("name".into(), Json::Str(w.name().into())),
+                ("malicious".into(), Json::Bool(w.is_malicious())),
+                ("analysis".into(), analysis_to_json(&a)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("analyze".into())),
+        ("time_scale".into(), Json::f64(cfg.time_scale)),
+        (
+            "sustain_threshold_cycles".into(),
+            Json::f64(acfg.sustain_threshold_cycles()),
+        ),
+        ("programs".into(), Json::Arr(entries)),
+    ])
+    .to_string_pretty()
+}

@@ -17,7 +17,7 @@ fn programs() -> Vec<Workload> {
     ws
 }
 
-pub fn build(cfg: &SimConfig) -> Campaign {
+pub(super) fn build(cfg: &SimConfig) -> Campaign {
     let mut c = Campaign::new("fig3");
     // Rates are measured with the ideal sink so DTM stalls cannot deflate
     // them — this matches the paper's per-program characterization.
@@ -27,7 +27,11 @@ pub fn build(cfg: &SimConfig) -> Campaign {
     c
 }
 
-pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     header(
         out,
         "Figure 3",
@@ -45,8 +49,8 @@ pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> 
 
     writeln!(
         out,
-        "{:>10} {:>6}  {}",
-        "program", "rate", "0 . . . . 5 . . . . 10 . ."
+        "{:>10} {:>6}  0 . . . . 5 . . . . 10 . .",
+        "program", "rate"
     )?;
     for (name, rate) in &rows {
         writeln!(out, "{name:>10} {rate:>6.2}  {}", bar(*rate, 12.0, 26))?;

@@ -11,7 +11,7 @@ use hs_sim::{Campaign, CampaignReport, HeatSink, PolicyKind, SimConfig};
 use hs_workloads::Workload;
 use std::io::{self, Write};
 
-pub fn build(cfg: &SimConfig) -> Campaign {
+pub(super) fn build(cfg: &SimConfig) -> Campaign {
     let mut c = Campaign::new("fig4");
     for s in suite() {
         let w = Workload::Spec(s);
@@ -46,7 +46,11 @@ pub fn build(cfg: &SimConfig) -> Campaign {
     c
 }
 
-pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     header(
         out,
         "Figure 4",

@@ -13,7 +13,7 @@ use std::io::{self, Write};
 
 const ATTACKERS: [Workload; 3] = [Workload::Variant1, Workload::Variant2, Workload::Variant3];
 
-pub fn build(cfg: &SimConfig) -> Campaign {
+pub(super) fn build(cfg: &SimConfig) -> Campaign {
     let mut c = Campaign::new("fig5");
     for s in suite() {
         let w = Workload::Spec(s);
@@ -68,7 +68,11 @@ pub fn build(cfg: &SimConfig) -> Campaign {
     c
 }
 
-pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     header(
         out,
         "Figure 5",

@@ -21,7 +21,7 @@ fn fmt(b: &ThreadBreakdown) -> String {
     )
 }
 
-pub fn build(cfg: &SimConfig) -> Campaign {
+pub(super) fn build(cfg: &SimConfig) -> Campaign {
     let mut c = Campaign::new("fig6");
     for s in suite() {
         let w = Workload::Spec(s);
@@ -56,7 +56,11 @@ pub fn build(cfg: &SimConfig) -> Campaign {
     c
 }
 
-pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     header(out, "Figure 6", "breakdown of execution time", cfg)?;
 
     let mut acc = [[0.0f64; 3]; 4];

@@ -8,7 +8,7 @@ use hs_sim::{Campaign, CampaignReport, SimConfig};
 use hs_workloads::{MaliciousParams, Workload};
 use std::io::{self, Write};
 
-pub fn build(_cfg: &SimConfig) -> Campaign {
+pub(super) fn build(_cfg: &SimConfig) -> Campaign {
     Campaign::new("listings")
 }
 
@@ -39,7 +39,11 @@ fn print_truncated(
     writeln!(out)
 }
 
-pub fn render(cfg: &SimConfig, _report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    _report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     writeln!(
         out,
         "Figure 1: the aggressive malicious thread (variant1)\n"

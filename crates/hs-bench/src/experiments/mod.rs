@@ -18,6 +18,7 @@ use hs_sim::{Campaign, CampaignReport, HeatSink, PolicyKind, RunSpec, SimConfig}
 use hs_workloads::Workload;
 use std::io::{self, Write};
 
+mod analyze;
 mod fig3;
 mod fig4;
 mod fig5;
@@ -34,6 +35,7 @@ mod table1;
 mod trace;
 
 /// One registered experiment.
+#[derive(Debug)]
 pub struct Experiment {
     /// Stable CLI name (`--only <name>`).
     pub name: &'static str,
@@ -43,93 +45,119 @@ pub struct Experiment {
     pub build: fn(&SimConfig) -> Campaign,
     /// Renders the executed report.
     pub render: fn(&SimConfig, &CampaignReport, &mut dyn Write) -> io::Result<()>,
+    /// Custom `--json` artifact builder. `None` (every simulation-backed
+    /// experiment) writes the campaign report itself; experiments whose
+    /// output is not made of quantum runs (`analyze`) provide their own
+    /// machine-readable document.
+    pub artifact: Option<fn(&SimConfig) -> String>,
 }
 
 /// Every experiment, in the canonical `run_experiments.sh` order.
-pub const EXPERIMENTS: [Experiment; 14] = [
+pub static EXPERIMENTS: [Experiment; 15] = [
     Experiment {
         name: "table1",
         title: "Table 1: system parameters",
         build: table1::build,
         render: table1::render,
+        artifact: None,
     },
     Experiment {
         name: "listings",
         title: "Figures 1-2: the malicious threads",
         build: listings::build,
         render: listings::render,
+        artifact: None,
     },
     Experiment {
         name: "fig3",
         title: "Figure 3: solo register-file access rates",
         build: fig3::build,
         render: fig3::render,
+        artifact: None,
     },
     Experiment {
         name: "fig4",
         title: "Figure 4: temperature emergencies per quantum",
         build: fig4::build,
         render: fig4::render,
+        artifact: None,
     },
     Experiment {
         name: "fig5",
         title: "Figure 5: victim IPC across 11 configurations",
         build: fig5::build,
         render: fig5::render,
+        artifact: None,
     },
     Experiment {
         name: "fig6",
         title: "Figure 6: execution-time breakdown",
         build: fig6::build,
         render: fig6::render,
+        artifact: None,
     },
     Experiment {
         name: "sweep_packaging",
         title: "Section 5.5: heat-sink sensitivity",
         build: sweep_packaging::build,
         render: sweep_packaging::render,
+        artifact: None,
     },
     Experiment {
         name: "sweep_thresholds",
         title: "Section 5.6: threshold robustness",
         build: sweep_thresholds::build,
         render: sweep_thresholds::render,
+        artifact: None,
     },
     Experiment {
         name: "spec_pairs",
         title: "Section 5.7: no false positives on SPEC+SPEC pairs",
         build: spec_pairs::build,
         render: spec_pairs::render,
+        artifact: None,
     },
     Experiment {
         name: "rate_cap_fails",
         title: "Section 3.2.1: why absolute rate-caps fail",
         build: rate_cap_fails::build,
         render: rate_cap_fails::render,
+        artifact: None,
     },
     Experiment {
         name: "sweep_monitor",
         title: "Ablation: monitor EWMA weight and sampling period",
         build: sweep_monitor::build,
         render: sweep_monitor::render,
+        artifact: None,
     },
     Experiment {
         name: "sweep_fetch_policy",
         title: "Ablation: ICOUNT vs round-robin fetch",
         build: sweep_fetch_policy::build,
         render: sweep_fetch_policy::render,
+        artifact: None,
     },
     Experiment {
         name: "sweep_faults",
         title: "Fault sweep: sensor/counter faults x thermal policies",
         build: sweep_faults::build,
         render: sweep_faults::render,
+        artifact: None,
     },
     Experiment {
         name: "trace",
         title: "CSV temperature/activity trace of an attack episode",
         build: trace::build,
         render: trace::render,
+        artifact: None,
+    },
+    Experiment {
+        name: "analyze",
+        title: "Static screening: power-density verdict per workload",
+        build: analyze::build,
+        render: analyze::render,
+        artifact: Some(analyze::artifact),
     },
 ];
 
@@ -179,6 +207,38 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), EXPERIMENTS.len());
         assert!(find("no_such_experiment").is_none());
+    }
+
+    #[test]
+    fn registry_includes_static_screening() {
+        assert!(
+            find("analyze").is_some(),
+            "the static-screening experiment must stay registered"
+        );
+    }
+
+    #[test]
+    fn shell_menu_stays_in_sync_with_the_registry() {
+        // `run_experiments.sh` builds its menu from `campaign --list`, so a
+        // new registry entry shows up automatically. Guard the two halves
+        // of that contract: the script still consumes `--list`, and it has
+        // no hardcoded experiment menu that could drift (experiment names
+        // must not appear verbatim in the script).
+        let script_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../run_experiments.sh");
+        let script = std::fs::read_to_string(script_path)
+            .expect("run_experiments.sh at the repository root");
+        assert!(
+            script.contains("--list"),
+            "run_experiments.sh must regenerate its menu via `campaign --list`"
+        );
+        for e in &EXPERIMENTS {
+            assert!(
+                !script.contains(&format!("\"{}\"", e.name)),
+                "run_experiments.sh hardcodes experiment `{}`; \
+                 the menu must come from `campaign --list`",
+                e.name
+            );
+        }
     }
 
     #[test]

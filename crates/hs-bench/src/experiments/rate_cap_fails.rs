@@ -39,7 +39,7 @@ const ATTACKERS: [Workload; 3] = [
     Workload::Spec(SpecWorkload::Art),
 ];
 
-pub fn build(cfg: &SimConfig) -> Campaign {
+pub(super) fn build(cfg: &SimConfig) -> Campaign {
     let mut c = Campaign::new("rate_cap_fails");
     // Part 1: false positives — innocent benchmarks under the rate cap.
     for s in suite() {
@@ -104,7 +104,11 @@ pub fn build(cfg: &SimConfig) -> Campaign {
     c
 }
 
-pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     header(out, "Section 3.2.1", "why absolute rate-caps fail", cfg)?;
 
     writeln!(

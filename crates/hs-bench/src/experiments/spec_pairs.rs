@@ -18,7 +18,7 @@ fn pairs() -> Vec<(SpecWorkload, SpecWorkload)> {
         .collect()
 }
 
-pub fn build(cfg: &SimConfig) -> Campaign {
+pub(super) fn build(cfg: &SimConfig) -> Campaign {
     // A true cartesian product (pairs x policies on the realistic sink), so
     // this experiment uses the matrix front-end directly.
     let mut m = CampaignMatrix::new(*cfg)
@@ -33,7 +33,11 @@ pub fn build(cfg: &SimConfig) -> Campaign {
     m.build("spec_pairs").expect("SPEC pairs are always valid")
 }
 
-pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     header(
         out,
         "Section 5.7",

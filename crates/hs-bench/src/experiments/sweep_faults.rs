@@ -113,7 +113,7 @@ fn scenarios(cfg: &SimConfig) -> Vec<(&'static str, FaultConfig)> {
     ]
 }
 
-pub fn build(cfg: &SimConfig) -> Campaign {
+pub(super) fn build(cfg: &SimConfig) -> Campaign {
     // The main table is a pure product: one co-schedule x 3 policies x 8
     // fault plans on the realistic sink.
     let mut m = CampaignMatrix::new(*cfg).workloads(
@@ -160,7 +160,11 @@ fn fingerprint(s: &SimStats) -> (u64, u64, u64, Vec<u64>, usize) {
     )
 }
 
-pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     header(
         out,
         "Fault sweep",

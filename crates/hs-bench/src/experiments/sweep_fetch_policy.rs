@@ -21,7 +21,7 @@ const FETCH: [(FetchPolicy, &str); 2] = [
 ];
 const ATTACKERS: [Workload; 2] = [Workload::Variant1, Workload::Variant2];
 
-pub fn build(cfg: &SimConfig) -> Campaign {
+pub(super) fn build(cfg: &SimConfig) -> Campaign {
     let mut c = Campaign::new("sweep_fetch_policy");
     for (policy, tag) in FETCH {
         let mut run_cfg = *cfg;
@@ -61,7 +61,11 @@ pub fn build(cfg: &SimConfig) -> Campaign {
     c
 }
 
-pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     header(out, "Ablation", "fetch policy: ICOUNT vs round-robin", cfg)?;
 
     for (policy, tag) in FETCH {

@@ -25,11 +25,11 @@ fn periods(cfg: &SimConfig) -> Vec<u64> {
         cfg.sedation.sample_period_cycles * 4,
     ]
     .into_iter()
-    .filter(|&p| p != 0 && cfg.sensor_interval_cycles % p == 0)
+    .filter(|&p| p != 0 && cfg.sensor_interval_cycles.is_multiple_of(p))
     .collect()
 }
 
-pub fn build(cfg: &SimConfig) -> Campaign {
+pub(super) fn build(cfg: &SimConfig) -> Campaign {
     let mut c = Campaign::new("sweep_monitor");
     solo(
         &mut c,
@@ -68,7 +68,11 @@ pub fn build(cfg: &SimConfig) -> Campaign {
     c
 }
 
-pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     header(
         out,
         "Ablation",

@@ -22,7 +22,7 @@ fn members() -> Vec<SpecWorkload> {
     }
 }
 
-pub fn build(cfg: &SimConfig) -> Campaign {
+pub(super) fn build(cfg: &SimConfig) -> Campaign {
     let mut c = Campaign::new("sweep_packaging");
     for r in RESISTANCES {
         let mut run_cfg = *cfg;
@@ -61,7 +61,11 @@ pub fn build(cfg: &SimConfig) -> Campaign {
     c
 }
 
-pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     header(
         out,
         "Section 5.5",

@@ -25,7 +25,7 @@ fn members() -> Vec<SpecWorkload> {
     }
 }
 
-pub fn build(cfg: &SimConfig) -> Campaign {
+pub(super) fn build(cfg: &SimConfig) -> Campaign {
     let mut c = Campaign::new("sweep_thresholds");
     for s in members() {
         solo(
@@ -56,7 +56,11 @@ pub fn build(cfg: &SimConfig) -> Campaign {
     c
 }
 
-pub fn render(cfg: &SimConfig, report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     header(out, "Section 5.6", "sedation threshold sweep", cfg)?;
 
     let mut solo_sum = 0.0;

@@ -7,11 +7,15 @@
 use hs_sim::{Campaign, CampaignReport, SimConfig};
 use std::io::{self, Write};
 
-pub fn build(_cfg: &SimConfig) -> Campaign {
+pub(super) fn build(_cfg: &SimConfig) -> Campaign {
     Campaign::new("table1")
 }
 
-pub fn render(cfg: &SimConfig, _report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    _report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     let cpu = cfg.cpu;
     let mem = cfg.mem;
     let th = cfg.thermal;

@@ -16,7 +16,7 @@ use hs_thermal::{Block, ThermalNetwork};
 use hs_workloads::{SpecWorkload, Workload};
 use std::io::{self, Write};
 
-pub fn build(_cfg: &SimConfig) -> Campaign {
+pub(super) fn build(_cfg: &SimConfig) -> Campaign {
     Campaign::new("trace")
 }
 
@@ -109,7 +109,11 @@ fn trace_one(
     )
 }
 
-pub fn render(cfg: &SimConfig, _report: &CampaignReport, out: &mut dyn Write) -> io::Result<()> {
+pub(super) fn render(
+    cfg: &SimConfig,
+    _report: &CampaignReport,
+    out: &mut dyn Write,
+) -> io::Result<()> {
     trace_one(cfg, Box::new(StopAndGo::new(cfg.sedation.thresholds)), out)?;
     trace_one(cfg, Box::new(SelectiveSedation::new(cfg.sedation, 2)), out)
 }

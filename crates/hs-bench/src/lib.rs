@@ -25,6 +25,7 @@
 //!   (e.g. `HS_SUBSET=gcc,eon,mcf`).
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod cli;
@@ -57,7 +58,7 @@ pub fn suite() -> Vec<SpecWorkload> {
             assert!(
                 !picked.is_empty(),
                 "HS_SUBSET={subset:?} matches no benchmark; valid names: {:?}",
-                SPEC_SUITE.map(|s| s.name())
+                SPEC_SUITE.map(hs_workloads::SpecWorkload::name)
             );
             picked
         }

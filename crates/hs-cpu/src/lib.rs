@@ -44,6 +44,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod bpred;
@@ -56,5 +57,7 @@ pub mod thread;
 pub use bpred::BranchPredictor;
 pub use config::{CpuConfig, FetchPolicy};
 pub use pipeline::{Cpu, FetchGate};
-pub use resources::{AccessMatrix, Resource, ThreadId, ALL_RESOURCES, MAX_THREADS, NUM_RESOURCES};
+pub use resources::{
+    fu_resource, AccessMatrix, Resource, ThreadId, ALL_RESOURCES, MAX_THREADS, NUM_RESOURCES,
+};
 pub use stats::ThreadStats;

@@ -521,15 +521,7 @@ impl Cpu {
                 .add(tid, Resource::IntRegFile, u64::from(inst.int_reg_reads()));
             self.events
                 .add(tid, Resource::FpRegFile, u64::from(inst.fp_reg_reads()));
-            let fu_resource = match inst.fu_class() {
-                FuClass::IntAlu | FuClass::Branch => Some(Resource::IntAlu),
-                FuClass::IntMul => Some(Resource::IntMul),
-                FuClass::FpAdd => Some(Resource::FpAdd),
-                FuClass::FpMul => Some(Resource::FpMul),
-                FuClass::MemPort => Some(Resource::Lsq),
-                FuClass::None => None,
-            };
-            if let Some(r) = fu_resource {
+            if let Some(r) = crate::resources::fu_resource(inst.fu_class()) {
                 self.events.add(tid, r, 1);
             }
         }

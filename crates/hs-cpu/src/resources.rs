@@ -5,6 +5,7 @@
 //! model both consume the same raw signal: *how many times did thread T
 //! access resource R in this interval*. [`AccessMatrix`] is that signal.
 
+use hs_isa::inst::FuClass;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -119,6 +120,27 @@ impl Resource {
 impl fmt::Display for Resource {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// The execution resource an instruction of functional-unit class `class`
+/// occupies when it issues, or `None` for classes that need no unit.
+///
+/// This is the single source of truth shared by the pipeline's issue stage
+/// and the static analyzer in `hs-analyze`: both must charge the same
+/// resource for the same instruction or the static/dynamic power rankings
+/// drift apart. Branches resolve on the integer ALUs (SimpleScalar's
+/// `IntALU` convention) and memory operations occupy a load/store-queue
+/// port.
+#[must_use]
+pub fn fu_resource(class: FuClass) -> Option<Resource> {
+    match class {
+        FuClass::IntAlu | FuClass::Branch => Some(Resource::IntAlu),
+        FuClass::IntMul => Some(Resource::IntMul),
+        FuClass::FpAdd => Some(Resource::FpAdd),
+        FuClass::FpMul => Some(Resource::FpMul),
+        FuClass::MemPort => Some(Resource::Lsq),
+        FuClass::None => None,
     }
 }
 

@@ -282,4 +282,52 @@ mod tests {
         let p = b.build().unwrap();
         assert_eq!(p.inst_addr(InstIndex(0)), 0x8000);
     }
+
+    #[test]
+    fn single_block_infinite_loop() {
+        // The degenerate attack shape: one block that jumps to itself.
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.nop();
+        b.nop();
+        b.jump(top);
+        let p = b.build().unwrap();
+        assert_eq!(p.block_leaders(), vec![InstIndex(0)]);
+        // The jump's only successor is the program's first instruction.
+        assert_eq!(p.successors(InstIndex(2)), (None, Some(InstIndex(0))));
+    }
+
+    #[test]
+    fn branch_to_self_resolves_to_its_own_index() {
+        let mut b = ProgramBuilder::new();
+        let here = b.label();
+        b.branch(BranchCond::Eq, IntReg::ZERO, Operand::Imm(0), here);
+        b.halt();
+        let p = b.build().unwrap();
+        let inst = p.get(InstIndex(0)).unwrap();
+        assert_eq!(inst.target(), Some(InstIndex(0)));
+        // Both edges exist: fall-through to the halt, taken back to itself.
+        let (fall, taken) = p.successors(InstIndex(0));
+        assert_eq!(fall, Some(InstIndex(1)));
+        assert_eq!(taken, Some(InstIndex(0)));
+    }
+
+    #[test]
+    fn unreachable_code_still_builds_and_forms_a_block() {
+        // Dead code after an unconditional jump is legal output (attack
+        // listings pad with it); it must survive label resolution and show
+        // up as its own block leader.
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.nop();
+        b.jump(top);
+        b.nop(); // unreachable
+        b.halt(); // unreachable
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.block_leaders(), vec![InstIndex(0), InstIndex(2)]);
+        // The unreachable tail is well-formed: straight-line successors.
+        assert_eq!(p.successors(InstIndex(2)), (Some(InstIndex(3)), None));
+        assert_eq!(p.successors(InstIndex(3)), (None, None));
+    }
 }

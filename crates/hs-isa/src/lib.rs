@@ -36,6 +36,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod asm;
@@ -48,7 +49,7 @@ pub mod semantics;
 
 pub use asm::{assemble, AsmError};
 pub use builder::{BuildError, Label, ProgramBuilder};
-pub use inst::{AluOp, BranchCond, FpOp, Instruction, Kind, Operand};
+pub use inst::{AluOp, BranchCond, FpOp, FuClass, Instruction, Kind, Operand};
 pub use machine::{ArchState, FlatMemory, Machine, StepOutcome};
 pub use program::{InstIndex, Program};
 pub use reg::{FpReg, IntReg, NUM_FP_REGS, NUM_INT_REGS};

@@ -1,6 +1,6 @@
 //! Programs: immutable instruction sequences with code addresses.
 
-use crate::inst::Instruction;
+use crate::inst::{Instruction, Kind};
 use std::fmt;
 use std::sync::Arc;
 
@@ -113,6 +113,52 @@ impl Program {
             .map(|(i, inst)| (InstIndex(i as u32), inst))
     }
 
+    /// Control-flow successors of the instruction at `index`, as
+    /// `(fall-through, branch-target)`.
+    ///
+    /// A `Halt` has neither; a `Jump` has only a target; a conditional
+    /// branch has both (the fall-through is absent when the branch is the
+    /// last instruction); everything else falls through. Static analyses
+    /// (the CFG builder in `hs-analyze`) derive block boundaries from this
+    /// so they can never disagree with [`crate::machine::Machine`]'s
+    /// sequencing.
+    #[must_use]
+    pub fn successors(&self, index: InstIndex) -> (Option<InstIndex>, Option<InstIndex>) {
+        let Some(inst) = self.get(index) else {
+            return (None, None);
+        };
+        let fall = index.next();
+        let fall = (fall.as_usize() < self.len()).then_some(fall);
+        match inst.kind() {
+            Kind::Halt => (None, None),
+            Kind::Jump { target } => (None, Some(*target)),
+            Kind::Branch { target, .. } => (fall, Some(*target)),
+            _ => (fall, None),
+        }
+    }
+
+    /// Basic-block leaders in ascending order: the entry instruction, every
+    /// branch/jump target, and every instruction following a control
+    /// instruction or halt.
+    #[must_use]
+    pub fn block_leaders(&self) -> Vec<InstIndex> {
+        use std::collections::BTreeSet;
+        let mut leaders = BTreeSet::new();
+        if self.is_empty() {
+            return Vec::new();
+        }
+        leaders.insert(0usize);
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let Some(t) = inst.target() {
+                leaders.insert(t.as_usize());
+            }
+            if (inst.is_control() || inst.is_halt()) && i + 1 < self.len() {
+                leaders.insert(i + 1);
+            }
+        }
+        leaders.into_iter().map(|i| InstIndex(i as u32)).collect()
+    }
+
     /// A textual listing of the program, one instruction per line, with
     /// branch-target labels rendered as `L<n>:` prefixes.
     #[must_use]
@@ -121,7 +167,7 @@ impl Program {
         let targets: BTreeSet<usize> = self
             .insts
             .iter()
-            .filter_map(|i| i.target())
+            .filter_map(Instruction::target)
             .map(InstIndex::as_usize)
             .collect();
         let mut out = String::new();

@@ -125,6 +125,21 @@ impl EnergyTable {
             .map(move |&r| (r, self.energy(r)))
             .filter(|&(_, e)| e > 0.0)
     }
+
+    /// The full per-access energy table, indexed by [`Resource::index`]
+    /// (joules per access, zeros included).
+    ///
+    /// Static analyses (`hs-analyze`) weight predicted access counts by
+    /// exactly these values so their per-block energy ranking is computed
+    /// from the same table the dynamic power model integrates.
+    #[must_use]
+    pub fn per_access_energies(&self) -> [f64; NUM_RESOURCES] {
+        let mut out = [0.0; NUM_RESOURCES];
+        for r in ALL_RESOURCES {
+            out[r.index()] = self.energy(r);
+        }
+        out
+    }
 }
 
 #[cfg(test)]

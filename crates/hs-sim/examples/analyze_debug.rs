@@ -1,0 +1,48 @@
+//! Diagnostic dump of per-loop static analysis for selected workloads.
+//! Run: cargo run --example analyze_debug -p hs-sim [names...]
+
+use hs_sim::admission::{analyzer_config, screen};
+use hs_sim::SimConfig;
+use hs_workloads::{Workload, SPEC_SUITE};
+
+fn main() {
+    let cfg = SimConfig::scaled(50.0);
+    let acfg = analyzer_config(&cfg);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut all: Vec<Workload> = SPEC_SUITE.into_iter().map(Workload::Spec).collect();
+    all.extend([Workload::Variant1, Workload::Variant2, Workload::Variant3]);
+    println!("sustain threshold: {:.0}", acfg.sustain_threshold_cycles());
+    for w in all {
+        if !args.is_empty() && !args.iter().any(|a| a == w.name()) {
+            continue;
+        }
+        let p = w.program_with(&cfg.mem, cfg.time_scale);
+        let a = screen(&p, &cfg);
+        println!(
+            "== {} [{} insts]: {} hottest={} est={:.1}K rf={:.2}",
+            w.name(),
+            p.len(),
+            a.verdict,
+            a.hottest_block.name(),
+            a.est_temp_k,
+            a.int_regfile_rate
+        );
+        for l in &a.loops {
+            println!(
+                "   loop@{:>5} d{} trip={:?} cyc/iter={:>10.1} sustain={:>12.0} hot={} {:.1}K rf={:.2} l1d={:.3} l2={:.4} alu={:.2} {}",
+                l.header_inst,
+                l.depth,
+                l.trip,
+                l.cycles_per_iter,
+                l.sustain_cycles,
+                l.hottest_block.name(),
+                l.est_temp_k,
+                l.rates[hs_cpu::Resource::IntRegFile.index()],
+                l.rates[hs_cpu::Resource::L1D.index()],
+                l.rates[hs_cpu::Resource::L2.index()],
+                l.rates[hs_cpu::Resource::IntAlu.index()],
+                l.verdict
+            );
+        }
+    }
+}

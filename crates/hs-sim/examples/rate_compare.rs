@@ -1,0 +1,87 @@
+//! Compares static per-resource rates against the dynamic pipeline's
+//! measured rates, workload by workload.
+//! Run: cargo run --release --example rate_compare -p hs-sim [names...]
+
+use hs_cpu::{Cpu, ALL_RESOURCES};
+use hs_power::resource_block;
+use hs_sim::admission::screen;
+use hs_sim::SimConfig;
+use hs_thermal::NUM_BLOCKS;
+use hs_workloads::{Workload, SPEC_SUITE};
+
+fn main() {
+    let cfg = SimConfig::scaled(50.0);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut all: Vec<Workload> = SPEC_SUITE.into_iter().map(Workload::Spec).collect();
+    all.extend([Workload::Variant1, Workload::Variant2, Workload::Variant3]);
+    for w in all {
+        if !args.is_empty() && !args.iter().any(|a| a == w.name()) {
+            continue;
+        }
+        let p = w.program_with(&cfg.mem, cfg.time_scale);
+        let a = screen(&p, &cfg);
+
+        let mut cpu = Cpu::new(cfg.cpu, cfg.mem);
+        let tid = cpu.attach_thread(p);
+        let warmup = 250_000u64;
+        let measured = 500_000u64;
+        for _ in 0..warmup {
+            cpu.tick(hs_cpu::pipeline::FetchGate::open());
+        }
+        let _ = cpu.take_access_counts();
+        for _ in 0..measured {
+            cpu.tick(hs_cpu::pipeline::FetchGate::open());
+        }
+        let counts = cpu.take_access_counts();
+
+        // Static whole-program rates: worst infinite/top loop blend.
+        let top = a.loops.iter().filter(|l| l.depth == 1).max_by(|x, y| {
+            x.sustain_cycles
+                .partial_cmp(&y.sustain_cycles)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        println!("== {} ==", w.name());
+        println!("{:<12} {:>9} {:>9}", "resource", "static", "dynamic");
+        let mut stat_energy = [0.0f64; NUM_BLOCKS];
+        let mut dyn_energy = [0.0f64; NUM_BLOCKS];
+        let energies = cfg.energy.per_access_energies();
+        for r in ALL_RESOURCES {
+            let s = top.map_or(0.0, |l| l.rates[r.index()]);
+            let d = counts.get(tid, r) as f64 / measured as f64;
+            stat_energy[resource_block(r).index()] += s * energies[r.index()];
+            dyn_energy[resource_block(r).index()] += d * energies[r.index()];
+            println!("{:<12} {:>9.3} {:>9.3}", r.name(), s, d);
+        }
+        let argmax = |e: &[f64; NUM_BLOCKS]| {
+            hs_thermal::ALL_BLOCKS
+                .into_iter()
+                .max_by(|a, b| {
+                    e[a.index()]
+                        .partial_cmp(&e[b.index()])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap()
+        };
+        println!(
+            "top block: static={} dynamic={}  est_temp={:.1}K",
+            argmax(&stat_energy).name(),
+            argmax(&dyn_energy).name(),
+            a.est_temp_k
+        );
+        let ranked = |e: &[f64; NUM_BLOCKS]| {
+            let mut bs: Vec<_> = hs_thermal::ALL_BLOCKS.into_iter().collect();
+            bs.sort_by(|a, b| {
+                e[b.index()]
+                    .partial_cmp(&e[a.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            bs.into_iter()
+                .take(4)
+                .map(|b| format!("{}={:.3}", b.name(), e[b.index()] * 1e9))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!("  static rank: {}", ranked(&stat_energy));
+        println!("  dyn    rank: {}", ranked(&dyn_energy));
+    }
+}

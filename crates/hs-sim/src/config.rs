@@ -1,5 +1,6 @@
 //! Whole-simulation configuration.
 
+use crate::admission::AdmissionMode;
 use hs_core::{
     ConfigError, CounterFaultPlan, FailsafeConfig, GuardConfig, RateCapConfig, SedationConfig,
 };
@@ -127,6 +128,9 @@ pub struct SimConfig {
     pub rate_cap: RateCapConfig,
     /// Fault-injection schedules (empty by default).
     pub faults: FaultConfig,
+    /// Static admission screening mode ([`AdmissionMode::Off`] by default,
+    /// so the paper's figures are unaffected).
+    pub admission: AdmissionMode,
     /// The time-scale factor this configuration was derived with.
     pub time_scale: f64,
 }
@@ -149,6 +153,7 @@ impl SimConfig {
             sensors: SensorConfig::default(),
             rate_cap: RateCapConfig::default(),
             faults: FaultConfig::none(),
+            admission: AdmissionMode::Off,
             time_scale: 1.0,
         }
     }

@@ -50,8 +50,10 @@
 //! parallel-equals-serial contract.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod campaign;
 pub mod config;
 pub mod error;
@@ -61,6 +63,7 @@ pub mod runner;
 pub mod simulator;
 pub mod stats;
 
+pub use admission::AdmissionMode;
 pub use campaign::{Campaign, CampaignMatrix, CampaignReport, RunRecord};
 pub use config::{FaultConfig, HeatSink, PolicyKind, SimConfig};
 pub use error::SimError;

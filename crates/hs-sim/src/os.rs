@@ -105,6 +105,7 @@ impl ScheduleOutcome {
     }
 }
 
+#[derive(Debug)]
 struct OsThread {
     workload: Workload,
     committed: u64,
@@ -114,6 +115,7 @@ struct OsThread {
 }
 
 /// The round-robin multi-quantum scheduler.
+#[derive(Debug)]
 pub struct OsScheduler {
     cfg: SimConfig,
     policy: PolicyKind,
@@ -198,7 +200,8 @@ impl OsScheduler {
                     .reports
                     .iter()
                     .filter(|r| {
-                        r.kind == ReportKind::Sedated && r.thread.map(|id| id.index()) == Some(hw)
+                        r.kind == ReportKind::Sedated
+                            && r.thread.map(hs_cpu::ThreadId::index) == Some(hw)
                     })
                     .count() as u64;
                 t.offenses += offenses;

@@ -1,10 +1,12 @@
 //! The quantum simulator: pipeline + power + thermal + DTM in one loop.
 
+use crate::admission::{screen, AdmissionMode};
 use crate::config::{HeatSink, PolicyKind, SimConfig};
 use crate::error::SimError;
 use crate::stats::{SimStats, ThreadBreakdown, ThreadSummary};
+use hs_analyze::Verdict;
 use hs_core::{
-    BlockCounts, DtmInput, FaultTolerantDtm, GlobalDvfs, NoDtm, RateCap, ReportKind,
+    BlockCounts, DtmInput, FaultTolerantDtm, GlobalDvfs, NoDtm, OsReport, RateCap, ReportKind,
     SelectiveSedation, StopAndGo, ThermalPolicy, ALL_SENSORS_VALID,
 };
 use hs_cpu::pipeline::FetchGate;
@@ -26,6 +28,10 @@ pub struct Simulator {
     sensors: SensorBank,
     policy: Box<dyn ThermalPolicy>,
     names: Vec<&'static str>,
+    /// Fetch gates imposed at admission (sticky for the whole quantum).
+    admission_gate: FetchGate,
+    /// Cycle-0 reports filed by the admission screen.
+    admission_reports: Vec<OsReport>,
 }
 
 impl Simulator {
@@ -86,15 +92,25 @@ impl Simulator {
             sensors: SensorBank::with_faults(cfg.sensors, cfg.faults.sensors),
             policy,
             names: Vec::new(),
+            admission_gate: FetchGate::open(),
+            admission_reports: Vec::new(),
         })
     }
 
     /// Attaches a workload to the next free hardware context.
     ///
+    /// When [`SimConfig::admission`] is not [`AdmissionMode::Off`], the
+    /// workload's program is first screened by the static analyzer
+    /// (`hs-analyze`); a heat-stroke verdict triggers the configured mode's
+    /// action (warn / sedate from cycle 0 / reject) and a suspicious
+    /// verdict files a warning report.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::TooManyWorkloads`] when all `cpu.contexts`
-    /// contexts are occupied; the workload is not attached.
+    /// contexts are occupied, and [`SimError::AdmissionRejected`] when
+    /// screening under [`AdmissionMode::Reject`] classifies the program as
+    /// an attack; either way the workload is not attached.
     pub fn attach(&mut self, workload: Workload) -> Result<ThreadId, SimError> {
         if self.cpu.num_threads() as u32 >= self.cfg.cpu.contexts {
             return Err(SimError::TooManyWorkloads {
@@ -102,10 +118,46 @@ impl Simulator {
                 contexts: self.cfg.cpu.contexts,
             });
         }
+        let program = workload.program_with(&self.cfg.mem, self.cfg.time_scale);
+        let verdict = if self.cfg.admission == AdmissionMode::Off {
+            None
+        } else {
+            let analysis = screen(&program, &self.cfg);
+            if analysis.verdict == Verdict::HeatStroke
+                && self.cfg.admission == AdmissionMode::Reject
+            {
+                return Err(SimError::AdmissionRejected {
+                    workload: workload.name().to_string(),
+                    est_temp_k: analysis.est_temp_k,
+                });
+            }
+            Some(analysis)
+        };
         self.names.push(workload.name());
-        Ok(self
-            .cpu
-            .attach_thread(workload.program_with(&self.cfg.mem, self.cfg.time_scale)))
+        let tid = self.cpu.attach_thread(program);
+        if let Some(analysis) = verdict {
+            let report = |kind| OsReport {
+                cycle: 0,
+                thread: Some(tid),
+                block: analysis.hottest_block,
+                kind,
+                weighted_avg: Some(analysis.int_regfile_rate),
+                temperature_k: analysis.est_temp_k,
+            };
+            match analysis.verdict {
+                Verdict::HeatStroke if self.cfg.admission == AdmissionMode::Sedate => {
+                    self.admission_gate.set(tid, true);
+                    self.admission_reports
+                        .push(report(ReportKind::AdmissionSedated));
+                }
+                Verdict::HeatStroke | Verdict::Suspicious => {
+                    self.admission_reports
+                        .push(report(ReportKind::AdmissionFlagged));
+                }
+                Verdict::Benign => {}
+            }
+        }
+        Ok(tid)
     }
 
     /// The configuration in use.
@@ -143,9 +195,11 @@ impl Simulator {
         let sensor_dt = sensor as f64 / self.cfg.freq_hz;
         let emergency_k = self.cfg.sedation.thresholds.emergency_k;
 
-        // ---- Warm-up: caches and predictors, no DTM, no thermal. ----
+        // ---- Warm-up: caches and predictors, no DTM, no thermal.
+        // Admission-sedated threads stay gated even here: they were never
+        // supposed to execute a cycle.
         for _ in 0..self.cfg.warmup_cycles {
-            self.cpu.tick(FetchGate::open());
+            self.cpu.tick(self.admission_gate);
         }
         let _ = self.cpu.take_access_counts();
         let committed_base: Vec<u64> = (0..nthreads)
@@ -165,7 +219,7 @@ impl Simulator {
         }
 
         // ---- Measured quantum. ----
-        let mut gate = FetchGate::open();
+        let mut gate = self.admission_gate;
         let mut global_stall = false;
         let mut power_accum = AccessMatrix::new();
         let mut breakdowns = vec![ThreadBreakdown::default(); nthreads];
@@ -253,10 +307,20 @@ impl Simulator {
             });
             global_stall = decision.global_stall;
             gate = decision.gate;
+            // Admission sedation is sticky: the DTM may open its own gates
+            // as blocks cool, but a thread sedated at admission never runs.
+            for t in 0..nthreads {
+                let tid = ThreadId(t as u8);
+                if self.admission_gate.is_gated(tid) {
+                    gate.set(tid, true);
+                }
+            }
         }
 
         // ---- Collect. ----
-        let reports = self.policy.take_reports();
+        // Admission reports happened "before cycle 0": they lead the list.
+        let mut reports = self.admission_reports.clone();
+        reports.extend(self.policy.take_reports());
         let threads = (0..nthreads)
             .map(|t| {
                 let tid = ThreadId(t as u8);

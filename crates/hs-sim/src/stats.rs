@@ -106,7 +106,7 @@ impl SimStats {
     pub fn peak_temp(&self) -> f64 {
         self.peak_temps
             .iter()
-            .cloned()
+            .copied()
             .fold(f64::NEG_INFINITY, f64::max)
     }
 

@@ -71,8 +71,8 @@ fn suite_spans_a_wide_ipc_range() {
         .iter()
         .map(|&s| measure(Workload::Spec(s), cycles).0)
         .collect();
-    let min = ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = ipcs.iter().cloned().fold(0.0, f64::max);
+    let min = ipcs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ipcs.iter().copied().fold(0.0, f64::max);
     assert!(min < 0.7, "most memory-bound member IPC {min:.2}");
     assert!(max > 1.8, "highest-ILP member IPC {max:.2}");
 }

@@ -59,8 +59,10 @@
 //! experiment registry regenerating every figure of the paper.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub use hs_analyze as analyze;
 pub use hs_core as core;
 pub use hs_cpu as cpu;
 pub use hs_isa as isa;
@@ -72,6 +74,7 @@ pub use hs_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use hs_analyze::{analyze, AnalyzerConfig, ProgramAnalysis, Verdict};
     pub use hs_core::{
         DtmThresholds, OsReport, ReportKind, SedationConfig, SelectiveSedation, StopAndGo,
         ThermalPolicy,
@@ -80,8 +83,8 @@ pub mod prelude {
     pub use hs_mem::MemConfig;
     pub use hs_power::{EnergyTable, PowerModel};
     pub use hs_sim::{
-        Campaign, CampaignMatrix, CampaignReport, HeatSink, OsScheduler, PolicyKind, RunSpec,
-        RunSpecBuilder, SchedulerConfig, SimConfig, SimError, SimStats, Simulator,
+        AdmissionMode, Campaign, CampaignMatrix, CampaignReport, HeatSink, OsScheduler, PolicyKind,
+        RunSpec, RunSpecBuilder, SchedulerConfig, SimConfig, SimError, SimStats, Simulator,
     };
     pub use hs_thermal::{Block, PowerVector, ThermalConfig, ThermalNetwork};
     pub use hs_workloads::{SpecWorkload, Workload, SPEC_SUITE};

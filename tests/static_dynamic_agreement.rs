@@ -1,0 +1,193 @@
+//! Tentpole validation: the static screener's hot-block ranking must agree
+//! with the dynamic pipeline's measured per-block switching energy, and the
+//! verdicts must separate the three malicious variants from every SPEC-like
+//! kernel.
+//!
+//! Agreement criterion: the dynamically hottest thermal block (argmax of
+//! measured access counts weighted by per-access energy) must rank within
+//! the static analysis' top two blocks. The static model's residual error —
+//! it undercounts instruction-cache line re-touches from fetch-queue
+//! throttling, and over-weights L2 on two irregular integer codes — can
+//! swap the top two blocks but never pushes the true hot spot further down.
+//! For the malicious variants the argmax must match exactly (the attack
+//! pins the integer register file by construction).
+
+use hs_analyze::Verdict;
+use hs_cpu::pipeline::FetchGate;
+use hs_cpu::{Cpu, ALL_RESOURCES};
+use hs_power::resource_block;
+use hs_sim::admission::screen;
+use hs_sim::SimConfig;
+use hs_thermal::{Block, ALL_BLOCKS, NUM_BLOCKS};
+use hs_workloads::Workload;
+
+const WARMUP: u64 = 250_000;
+const MEASURED: u64 = 500_000;
+
+/// Measured per-block switching energy per cycle over a steady window.
+fn dynamic_block_energy(cfg: &SimConfig, w: Workload) -> [f64; NUM_BLOCKS] {
+    let program = w.program_with(&cfg.mem, cfg.time_scale);
+    let mut cpu = Cpu::new(cfg.cpu, cfg.mem);
+    let tid = cpu.attach_thread(program);
+    for _ in 0..WARMUP {
+        cpu.tick(FetchGate::open());
+    }
+    let _ = cpu.take_access_counts();
+    for _ in 0..MEASURED {
+        cpu.tick(FetchGate::open());
+    }
+    let counts = cpu.take_access_counts();
+    let energies = cfg.energy.per_access_energies();
+    let mut energy = [0.0f64; NUM_BLOCKS];
+    for r in ALL_RESOURCES {
+        let rate = counts.get(tid, r) as f64 / MEASURED as f64;
+        energy[resource_block(r).index()] += rate * energies[r.index()];
+    }
+    energy
+}
+
+fn argmax(energy: &[f64; NUM_BLOCKS]) -> Block {
+    ALL_BLOCKS
+        .into_iter()
+        .max_by(|a, b| {
+            energy[a.index()]
+                .partial_cmp(&energy[b.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("ALL_BLOCKS is non-empty")
+}
+
+/// The shared assertion: verdict separation plus hot-block agreement.
+fn agrees(w: Workload) {
+    let cfg = SimConfig::scaled(50.0);
+    let program = w.program_with(&cfg.mem, cfg.time_scale);
+    let analysis = screen(&program, &cfg);
+
+    if w.is_malicious() {
+        assert_eq!(
+            analysis.verdict,
+            Verdict::HeatStroke,
+            "{}: malicious variant must screen as heat-stroke (est {:.1} K)",
+            w.name(),
+            analysis.est_temp_k,
+        );
+    } else {
+        assert_eq!(
+            analysis.verdict,
+            Verdict::Benign,
+            "{}: SPEC-like kernel must screen as benign (est {:.1} K)",
+            w.name(),
+            analysis.est_temp_k,
+        );
+    }
+
+    let dynamic = dynamic_block_energy(&cfg, w);
+    let dyn_hot = argmax(&dynamic);
+    let ranked = analysis.top_blocks();
+    let static_top2: Vec<Block> = ranked.iter().take(2).map(|&(b, _)| b).collect();
+    assert!(
+        static_top2.contains(&dyn_hot),
+        "{}: dynamically hottest block {} not in static top two {:?} \
+         (static ranking {:?})",
+        w.name(),
+        dyn_hot.name(),
+        static_top2.iter().map(|b| b.name()).collect::<Vec<_>>(),
+        ranked
+            .iter()
+            .take(4)
+            .map(|(b, e)| format!("{}={:.3e}", b.name(), e))
+            .collect::<Vec<_>>(),
+    );
+
+    if w.is_malicious() {
+        assert_eq!(
+            analysis.hottest_block,
+            dyn_hot,
+            "{}: attack hot block must match exactly",
+            w.name(),
+        );
+        assert_eq!(
+            dyn_hot,
+            Block::IntReg,
+            "{}: the attack pins the integer register file",
+            w.name(),
+        );
+    }
+}
+
+macro_rules! agreement_tests {
+    ($($name:ident => $workload:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                agrees($workload);
+            }
+        )*
+    };
+}
+
+agreement_tests! {
+    variant1_agrees => Workload::Variant1;
+    variant2_agrees => Workload::Variant2;
+    variant3_agrees => Workload::Variant3;
+}
+
+/// One test per SPEC workload so the suite parallelizes across cores.
+macro_rules! spec_agreement_tests {
+    ($($name:ident => $spec:literal;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let w = hs_workloads::SPEC_SUITE
+                    .into_iter()
+                    .map(Workload::Spec)
+                    .find(|w| w.name() == $spec)
+                    .unwrap_or_else(|| panic!("no SPEC workload named {}", $spec));
+                agrees(w);
+            }
+        )*
+    };
+}
+
+spec_agreement_tests! {
+    applu_agrees => "applu";
+    apsi_agrees => "apsi";
+    art_agrees => "art";
+    bzip2_agrees => "bzip2";
+    crafty_agrees => "crafty";
+    eon_agrees => "eon";
+    gap_agrees => "gap";
+    gcc_agrees => "gcc";
+    gzip_agrees => "gzip";
+    lucas_agrees => "lucas";
+    mcf_agrees => "mcf";
+    mesa_agrees => "mesa";
+    parser_agrees => "parser";
+    swim_agrees => "swim";
+    twolf_agrees => "twolf";
+    vortex_agrees => "vortex";
+}
+
+/// The whole suite is covered: every bundled workload appears above.
+#[test]
+fn every_bundled_workload_is_covered() {
+    let covered = [
+        "applu", "apsi", "art", "bzip2", "crafty", "eon", "gap", "gcc", "gzip", "lucas", "mcf",
+        "mesa", "parser", "swim", "twolf", "vortex",
+    ];
+    let suite: Vec<&str> = hs_workloads::SPEC_SUITE
+        .into_iter()
+        .map(|s| Workload::Spec(s).name())
+        .collect();
+    assert_eq!(
+        suite.len(),
+        covered.len(),
+        "SPEC suite changed size; update this test"
+    );
+    for name in suite {
+        assert!(
+            covered.contains(&name),
+            "workload {name} has no agreement test"
+        );
+    }
+}
