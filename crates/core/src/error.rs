@@ -10,6 +10,44 @@
 use std::error::Error;
 use std::fmt;
 
+/// How a supervisor should treat a failure: worth retrying, or final.
+///
+/// The campaign supervision layer (`hs_sim::supervise`) retries outcomes
+/// classified [`ErrorClass::Transient`] with bounded, seeded backoff, and
+/// quarantines [`ErrorClass::Permanent`] ones immediately. The taxonomy
+/// lives here, next to [`ConfigError`], so every error type in the
+/// workspace can answer the same question the same way.
+///
+/// The rule of thumb: a failure that is a pure function of the run's
+/// specification (an invalid config, too many workloads, a deterministic
+/// budget overrun) is `Permanent` — re-executing the identical spec
+/// reproduces it. A failure injected by the *environment* (a lost worker,
+/// a wall-clock stall, an interrupted campaign) is `Transient`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Environmental / nondeterministic: retrying the same spec may succeed.
+    Transient,
+    /// Deterministic: retrying the same spec reproduces the failure.
+    Permanent,
+}
+
+impl ErrorClass {
+    /// Whether a supervisor should retry this failure.
+    #[must_use]
+    pub fn is_transient(self) -> bool {
+        self == ErrorClass::Transient
+    }
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorClass::Transient => "transient",
+            ErrorClass::Permanent => "permanent",
+        })
+    }
+}
+
 /// A rejected configuration value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError {
@@ -38,6 +76,13 @@ impl ConfigError {
     pub fn reason(&self) -> &str {
         &self.reason
     }
+
+    /// A bad configuration is a pure function of the spec: always
+    /// [`ErrorClass::Permanent`].
+    #[must_use]
+    pub fn class(&self) -> ErrorClass {
+        ErrorClass::Permanent
+    }
 }
 
 impl fmt::Display for ConfigError {
@@ -64,6 +109,16 @@ mod tests {
         assert!(e.to_string().contains("ewma_shift"));
         assert!(e.to_string().contains("1..32"));
         assert_eq!(e.field(), "ewma_shift");
+    }
+
+    #[test]
+    fn config_errors_are_permanent() {
+        let e = ConfigError::new("freq_hz", "must be positive");
+        assert_eq!(e.class(), ErrorClass::Permanent);
+        assert!(!e.class().is_transient());
+        assert!(ErrorClass::Transient.is_transient());
+        assert_eq!(ErrorClass::Transient.to_string(), "transient");
+        assert_eq!(ErrorClass::Permanent.to_string(), "permanent");
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The one experiment binary: every table and figure of the paper behind
-//! the shared campaign CLI. See `hs_bench::cli` for the flags.
+//! the shared campaign CLI. See `hs_bench::cli` for the flags and the
+//! exit-code mapping.
 
 fn main() {
-    if let Err(msg) = hs_bench::cli::run(std::env::args().skip(1)) {
-        eprintln!("{msg}");
-        std::process::exit(1);
+    if let Err(failure) = hs_bench::cli::run(std::env::args().skip(1)) {
+        eprintln!("{}", failure.message);
+        std::process::exit(failure.code);
     }
 }

@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! campaign [--list] [--only a,b,c] [--jobs N] [--json PATH] [--check PATH]
+//!          [--resume] [--retries N] [--deadline SECS] [--journal PATH]
+//!          [--abort-after K]
 //! ```
 //!
 //! * `--list` — print the experiment names, one per line (consumed by
 //!   `run_experiments.sh` to build its menu).
-//! * `--only a,b,c` — run only the named experiments (default: all 15).
+//! * `--only a,b,c` — run only the named experiments (default: all).
 //! * `--jobs N` — worker threads for the campaign engine (default: the
 //!   machine's available parallelism). Results are identical for every
 //!   `N`; see the engine's determinism contract.
@@ -16,14 +18,81 @@
 //! * `--check PATH` — parse a previously written artifact and report its
 //!   shape (CI uses this to validate `results/*.json`).
 //!
+//! ## Supervision flags
+//!
+//! An experiment runs on the supervised engine when its registry entry
+//! declares a supervision (only `chaos` does) or when any of these flags
+//! is given; everything else stays on the fail-fast engine, byte-for-byte.
+//!
+//! * `--resume` — replay the experiment's journal and execute only the
+//!   runs it is missing (crash recovery; the resumed artifact is
+//!   byte-identical to an uninterrupted one).
+//! * `--retries N` — attempts per run for transient failures (default
+//!   from the experiment's supervision, else 1).
+//! * `--deadline SECS` — per-attempt wall-clock deadline.
+//! * `--journal PATH` — run journal location. Default:
+//!   the artifact path with a `.journal.jsonl` extension under `--json`,
+//!   else `<name>.journal.jsonl`. With several experiments selected,
+//!   `PATH` is a directory.
+//! * `--abort-after K` — stop after `K` journaled outcomes and exit 6
+//!   (crash-testing hook used by CI to exercise `--resume`).
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |-----:|---------|
+//! | 0 | success |
+//! | 1 | I/O or internal failure |
+//! | 2 | usage error (bad flag or value) |
+//! | 3 | invalid configuration ([`SimError::Config`]) |
+//! | 4 | invalid run matrix (no/too many workloads, runaway combination, duplicate label) |
+//! | 5 | admission screening rejected a workload |
+//! | 6 | interrupted (`--abort-after`, aborted campaign) |
+//! | 7 | unusable run journal |
+//!
 //! Rendered experiment text goes to stdout; progress and timing go to
-//! stderr, so stdout stays byte-deterministic.
+//! stderr, so stdout stays byte-deterministic. Supervised runs add a
+//! `quarantined: N` stderr line per experiment.
 
 use crate::experiments::{find, Experiment, EXPERIMENTS};
 use hs_sim::admission::check_analysis_artifact;
-use hs_sim::{CampaignReport, Json};
+use hs_sim::{CampaignReport, Json, SimError, Supervision};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// A CLI failure: the message for stderr plus the process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// What to print to stderr.
+    pub message: String,
+    /// The process exit code (see the module docs for the mapping).
+    pub code: i32,
+}
+
+impl From<String> for Failure {
+    /// Plain-string failures are general errors: exit code 1.
+    fn from(message: String) -> Self {
+        Failure { message, code: 1 }
+    }
+}
+
+/// Maps a [`SimError`] to its documented process exit code.
+/// [`SimError::InvalidRun`] reports as whatever its cause maps to.
+#[must_use]
+pub fn sim_exit_code(e: &SimError) -> i32 {
+    match e {
+        SimError::Config(_) => 3,
+        SimError::NoWorkloads
+        | SimError::TooManyWorkloads { .. }
+        | SimError::RunawayCombination
+        | SimError::DuplicateLabel { .. } => 4,
+        SimError::AdmissionRejected { .. } => 5,
+        SimError::Interrupted { .. } => 6,
+        SimError::Journal { .. } => 7,
+        SimError::InvalidRun { cause, .. } => sim_exit_code(cause),
+    }
+}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -38,6 +107,16 @@ pub struct Options {
     pub json: Option<PathBuf>,
     /// Validate this artifact instead of running anything.
     pub check: Option<PathBuf>,
+    /// Resume from each experiment's journal instead of starting fresh.
+    pub resume: bool,
+    /// Override: attempts per run for transient failures.
+    pub retries: Option<u32>,
+    /// Override: per-attempt wall-clock deadline.
+    pub deadline: Option<Duration>,
+    /// Override: journal path (directory when several are selected).
+    pub journal: Option<PathBuf>,
+    /// Crash-testing hook: abort after this many journaled outcomes.
+    pub abort_after: Option<usize>,
 }
 
 impl Options {
@@ -55,13 +134,16 @@ impl Options {
                 "--list" => opts.list = true,
                 "--only" => {
                     let v = it.next().ok_or("--only needs a comma-separated list")?;
-                    let names: Vec<String> =
-                        v.split(',').map(|s| s.trim().to_string()).collect();
+                    let names: Vec<String> = v.split(',').map(|s| s.trim().to_string()).collect();
                     for n in &names {
                         if find(n).is_none() {
                             return Err(format!(
                                 "unknown experiment `{n}`; valid names:\n  {}",
-                                EXPERIMENTS.iter().map(|e| e.name).collect::<Vec<_>>().join("\n  ")
+                                EXPERIMENTS
+                                    .iter()
+                                    .map(|e| e.name)
+                                    .collect::<Vec<_>>()
+                                    .join("\n  ")
                             ));
                         }
                     }
@@ -85,9 +167,48 @@ impl Options {
                     let v = it.next().ok_or("--check needs a path")?;
                     opts.check = Some(PathBuf::from(v));
                 }
+                "--resume" => opts.resume = true,
+                "--retries" => {
+                    let v = it.next().ok_or("--retries needs a number")?;
+                    let n: u32 = v
+                        .parse()
+                        .map_err(|_| format!("--retries: `{v}` is not a number"))?;
+                    if n == 0 {
+                        return Err(
+                            "--retries must be at least 1 (the first attempt counts)".into()
+                        );
+                    }
+                    opts.retries = Some(n);
+                }
+                "--deadline" => {
+                    let v = it.next().ok_or("--deadline needs seconds")?;
+                    let secs: f64 = v
+                        .parse()
+                        .map_err(|_| format!("--deadline: `{v}` is not a number of seconds"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err("--deadline must be a positive number of seconds".into());
+                    }
+                    opts.deadline = Some(Duration::from_secs_f64(secs));
+                }
+                "--journal" => {
+                    let v = it.next().ok_or("--journal needs a path")?;
+                    opts.journal = Some(PathBuf::from(v));
+                }
+                "--abort-after" => {
+                    let v = it.next().ok_or("--abort-after needs a count")?;
+                    let k: usize = v
+                        .parse()
+                        .map_err(|_| format!("--abort-after: `{v}` is not a number"))?;
+                    if k == 0 {
+                        return Err("--abort-after must be at least 1".into());
+                    }
+                    opts.abort_after = Some(k);
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: campaign [--list] [--only a,b,c] [--jobs N] [--json PATH] [--check PATH]"
+                        "usage: campaign [--list] [--only a,b,c] [--jobs N] [--json PATH] \
+                         [--check PATH] [--resume] [--retries N] [--deadline SECS] \
+                         [--journal PATH] [--abort-after K]"
                             .into(),
                     )
                 }
@@ -122,6 +243,59 @@ impl Options {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         })
+    }
+
+    /// Whether any flag asks for the supervised engine.
+    fn wants_supervision(&self) -> bool {
+        self.resume
+            || self.retries.is_some()
+            || self.deadline.is_some()
+            || self.journal.is_some()
+            || self.abort_after.is_some()
+    }
+
+    /// Where `name`'s journal lives: `--journal` (a directory when several
+    /// experiments are selected), else derived from the artifact path,
+    /// else `<name>.journal.jsonl` in the working directory.
+    fn journal_path(&self, name: &str, selected: usize) -> PathBuf {
+        if let Some(j) = &self.journal {
+            if selected == 1 {
+                j.clone()
+            } else {
+                j.join(format!("{name}.journal.jsonl"))
+            }
+        } else if let Some(json) = &self.json {
+            artifact_path(json, name, selected).with_extension("journal.jsonl")
+        } else {
+            PathBuf::from(format!("{name}.journal.jsonl"))
+        }
+    }
+
+    /// The supervision for one experiment: its registry default (if any)
+    /// with the CLI overrides layered on top; `None` when neither the
+    /// registry nor the flags ask for supervision (the fail-fast engine
+    /// stays in charge, byte-for-byte).
+    fn supervision_for(
+        &self,
+        e: &Experiment,
+        cfg: &hs_sim::SimConfig,
+        selected: usize,
+    ) -> Option<Supervision> {
+        if e.supervision.is_none() && !self.wants_supervision() {
+            return None;
+        }
+        let mut sup = e.supervision.map_or_else(Supervision::default, |f| f(cfg));
+        if let Some(n) = self.retries {
+            sup.retry.max_attempts = n;
+        }
+        if let Some(d) = self.deadline {
+            sup.wall_deadline = Some(d);
+        }
+        if let Some(k) = self.abort_after {
+            sup.abort_after = Some(k);
+        }
+        sup.journal = Some(self.journal_path(e.name, selected));
+        Some(sup)
     }
 }
 
@@ -172,12 +346,13 @@ fn artifact_path(json: &Path, name: &str, selected: usize) -> PathBuf {
 ///
 /// # Errors
 ///
-/// Returns the message to print to stderr before exiting nonzero.
-pub fn run(args: impl IntoIterator<Item = String>) -> Result<(), String> {
-    let opts = Options::parse(args)?;
+/// Returns the message to print to stderr and the exit code to die with
+/// (the mapping is in the module docs).
+pub fn run(args: impl IntoIterator<Item = String>) -> Result<(), Failure> {
+    let opts = Options::parse(args).map_err(|message| Failure { message, code: 2 })?;
 
     if let Some(path) = &opts.check {
-        return check(path);
+        return Ok(check(path)?);
     }
 
     if opts.list {
@@ -198,14 +373,36 @@ pub fn run(args: impl IntoIterator<Item = String>) -> Result<(), String> {
         eprintln!("[{}/{}] {} ({jobs} jobs)", i + 1, selected.len(), e.name);
         let campaign = (e.build)(&cfg);
         let started = std::time::Instant::now();
-        let report = campaign
-            .run(jobs)
-            .map_err(|err| format!("{}: {err}", e.name))?;
+        let supervision = opts.supervision_for(e, &cfg, selected.len());
+        let sim_failure = |err: SimError| Failure {
+            code: sim_exit_code(&err),
+            message: format!("{}: {err}", e.name),
+        };
+        let report = match &supervision {
+            None => campaign.run(jobs).map_err(sim_failure)?,
+            Some(sup) => {
+                if let Some(dir) = sup.journal.as_ref().and_then(|p| p.parent()) {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir).map_err(|err| {
+                            Failure::from(format!("cannot create {}: {err}", dir.display()))
+                        })?;
+                    }
+                }
+                if opts.resume {
+                    campaign.resume(jobs, sup).map_err(sim_failure)?
+                } else {
+                    campaign.run_supervised(jobs, sup).map_err(sim_failure)?
+                }
+            }
+        };
         eprintln!(
             "      {} runs in {:.1}s",
             report.runs.len(),
             started.elapsed().as_secs_f64()
         );
+        if supervision.is_some() {
+            eprintln!("      quarantined: {}", report.quarantined.len());
+        }
         if let Some(json) = &opts.json {
             let path = artifact_path(json, e.name, selected.len());
             if let Some(dir) = path.parent() {
@@ -279,6 +476,129 @@ mod tests {
     #[test]
     fn unknown_flags_are_rejected() {
         assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn supervision_flags_parse_and_validate() {
+        let opts = parse(&[
+            "--resume",
+            "--retries",
+            "3",
+            "--deadline",
+            "2.5",
+            "--journal",
+            "j.jsonl",
+            "--abort-after",
+            "4",
+        ])
+        .unwrap();
+        assert!(opts.resume);
+        assert_eq!(opts.retries, Some(3));
+        assert_eq!(opts.deadline, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(opts.journal, Some(PathBuf::from("j.jsonl")));
+        assert_eq!(opts.abort_after, Some(4));
+        assert!(opts.wants_supervision());
+        assert!(!parse(&[]).unwrap().wants_supervision());
+        assert!(parse(&["--retries", "0"]).is_err());
+        assert!(parse(&["--deadline", "-1"]).is_err());
+        assert!(parse(&["--deadline", "soon"]).is_err());
+        assert!(parse(&["--abort-after", "0"]).is_err());
+    }
+
+    #[test]
+    fn journal_paths_follow_the_artifact() {
+        let mut opts = parse(&["--json", "results/chaos.json"]).unwrap();
+        assert_eq!(
+            opts.journal_path("chaos", 1),
+            PathBuf::from("results/chaos.journal.jsonl")
+        );
+        opts.json = Some(PathBuf::from("results"));
+        assert_eq!(
+            opts.journal_path("chaos", 3),
+            PathBuf::from("results/chaos.journal.jsonl")
+        );
+        opts.json = None;
+        assert_eq!(
+            opts.journal_path("chaos", 1),
+            PathBuf::from("chaos.journal.jsonl")
+        );
+        opts.journal = Some(PathBuf::from("/tmp/j"));
+        assert_eq!(opts.journal_path("chaos", 1), PathBuf::from("/tmp/j"));
+        assert_eq!(
+            opts.journal_path("chaos", 2),
+            PathBuf::from("/tmp/j/chaos.journal.jsonl")
+        );
+    }
+
+    #[test]
+    fn registry_supervision_drives_the_engine_choice() {
+        let cfg = crate::config();
+        let opts = parse(&[]).unwrap();
+        let chaos = find("chaos").unwrap();
+        let fig3 = find("fig3").unwrap();
+        let sup = opts
+            .supervision_for(chaos, &cfg, 1)
+            .expect("chaos is supervised");
+        assert_eq!(sup.retry.max_attempts, 3, "registry default");
+        assert!(sup.journal.is_some(), "supervised runs always journal");
+        assert!(
+            opts.supervision_for(fig3, &cfg, 1).is_none(),
+            "paper experiments stay on the fail-fast engine"
+        );
+        // CLI overrides layer on top of the registry default.
+        let opts = parse(&["--retries", "7"]).unwrap();
+        let sup = opts.supervision_for(chaos, &cfg, 1).unwrap();
+        assert_eq!(sup.retry.max_attempts, 7);
+        assert!(
+            opts.supervision_for(fig3, &cfg, 1).is_some(),
+            "flags opt any experiment in"
+        );
+    }
+
+    #[test]
+    fn exit_codes_are_stable_and_documented() {
+        assert_eq!(sim_exit_code(&SimError::NoWorkloads), 4);
+        assert_eq!(sim_exit_code(&SimError::RunawayCombination), 4);
+        assert_eq!(
+            sim_exit_code(&SimError::DuplicateLabel {
+                label: "x".into(),
+                first: 0,
+                second: 1
+            }),
+            4
+        );
+        assert_eq!(
+            sim_exit_code(&SimError::AdmissionRejected {
+                workload: "v2".into(),
+                est_temp_k: 400.0
+            }),
+            5
+        );
+        assert_eq!(
+            sim_exit_code(&SimError::Interrupted {
+                what: "abort".into()
+            }),
+            6
+        );
+        assert_eq!(
+            sim_exit_code(&SimError::Journal {
+                detail: "torn".into()
+            }),
+            7
+        );
+        // InvalidRun reports as its cause.
+        assert_eq!(
+            sim_exit_code(&SimError::InvalidRun {
+                id: 3,
+                label: "x".into(),
+                cause: Box::new(SimError::Interrupted { what: "w".into() }),
+            }),
+            6
+        );
+        // Usage problems exit 2 through the Failure path.
+        let failure = run(["--frobnicate".to_string()]).unwrap_err();
+        assert_eq!(failure.code, 2);
+        assert_eq!(Failure::from("io".to_string()).code, 1);
     }
 
     #[test]

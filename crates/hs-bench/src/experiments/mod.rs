@@ -14,11 +14,12 @@
 //!   empty matrix and do their own (cheap or streaming) work at render
 //!   time.
 
-use hs_sim::{Campaign, CampaignReport, HeatSink, PolicyKind, RunSpec, SimConfig};
+use hs_sim::{Campaign, CampaignReport, HeatSink, PolicyKind, RunSpec, SimConfig, Supervision};
 use hs_workloads::Workload;
 use std::io::{self, Write};
 
 mod analyze;
+mod chaos;
 mod fig3;
 mod fig4;
 mod fig5;
@@ -50,16 +51,23 @@ pub struct Experiment {
     /// output is not made of quantum runs (`analyze`) provide their own
     /// machine-readable document.
     pub artifact: Option<fn(&SimConfig) -> String>,
+    /// Default supervision for this experiment. `None` (every paper
+    /// experiment) runs on the fail-fast engine exactly as before;
+    /// `Some` routes through `Campaign::run_supervised` — used by `chaos`,
+    /// which injects faults that *must* be supervised. CLI supervision
+    /// flags (`--retries`, `--deadline`, …) layer on top of this.
+    pub supervision: Option<fn(&SimConfig) -> Supervision>,
 }
 
 /// Every experiment, in the canonical `run_experiments.sh` order.
-pub static EXPERIMENTS: [Experiment; 15] = [
+pub static EXPERIMENTS: [Experiment; 16] = [
     Experiment {
         name: "table1",
         title: "Table 1: system parameters",
         build: table1::build,
         render: table1::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "listings",
@@ -67,6 +75,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: listings::build,
         render: listings::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "fig3",
@@ -74,6 +83,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: fig3::build,
         render: fig3::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "fig4",
@@ -81,6 +91,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: fig4::build,
         render: fig4::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "fig5",
@@ -88,6 +99,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: fig5::build,
         render: fig5::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "fig6",
@@ -95,6 +107,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: fig6::build,
         render: fig6::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "sweep_packaging",
@@ -102,6 +115,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: sweep_packaging::build,
         render: sweep_packaging::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "sweep_thresholds",
@@ -109,6 +123,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: sweep_thresholds::build,
         render: sweep_thresholds::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "spec_pairs",
@@ -116,6 +131,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: spec_pairs::build,
         render: spec_pairs::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "rate_cap_fails",
@@ -123,6 +139,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: rate_cap_fails::build,
         render: rate_cap_fails::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "sweep_monitor",
@@ -130,6 +147,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: sweep_monitor::build,
         render: sweep_monitor::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "sweep_fetch_policy",
@@ -137,6 +155,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: sweep_fetch_policy::build,
         render: sweep_fetch_policy::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "sweep_faults",
@@ -144,6 +163,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: sweep_faults::build,
         render: sweep_faults::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "trace",
@@ -151,6 +171,7 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: trace::build,
         render: trace::render,
         artifact: None,
+        supervision: None,
     },
     Experiment {
         name: "analyze",
@@ -158,6 +179,15 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         build: analyze::build,
         render: analyze::render,
         artifact: Some(analyze::artifact),
+        supervision: None,
+    },
+    Experiment {
+        name: "chaos",
+        title: "Supervision: injected faults, retries, quarantine, resume",
+        build: chaos::build,
+        render: chaos::render,
+        artifact: None,
+        supervision: Some(chaos::supervision),
     },
 ];
 

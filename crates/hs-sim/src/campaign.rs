@@ -46,6 +46,7 @@ use crate::error::SimError;
 use crate::json::{Json, JsonError};
 use crate::runner::RunSpec;
 use crate::stats::SimStats;
+use crate::supervise::QuarantinedRun;
 use hs_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -110,13 +111,28 @@ impl Campaign {
         self.runs.is_empty()
     }
 
-    /// Validates every planned run without executing anything.
+    /// Validates every planned run without executing anything, and rejects
+    /// duplicate labels. Labels key [`CampaignReport::stats`] lookup and
+    /// journal resume identity, so a duplicate would silently shadow one
+    /// run behind another — it is caught here, before anything executes.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidRun`] naming the first (lowest-id)
-    /// invalid run.
+    /// Returns [`SimError::DuplicateLabel`] naming both offending runs, or
+    /// [`SimError::InvalidRun`] naming the first (lowest-id) invalid run.
     pub fn preflight(&self) -> Result<(), SimError> {
+        for (second, run) in self.runs.iter().enumerate() {
+            if let Some(first) = self.runs[..second]
+                .iter()
+                .position(|r| r.label == run.label)
+            {
+                return Err(SimError::DuplicateLabel {
+                    label: run.label.clone(),
+                    first,
+                    second,
+                });
+            }
+        }
         for (id, run) in self.runs.iter().enumerate() {
             run.spec.preflight().map_err(|e| SimError::InvalidRun {
                 id,
@@ -200,6 +216,7 @@ impl Campaign {
         Ok(CampaignReport {
             name: self.name.clone(),
             runs,
+            quarantined: Vec::new(),
             jobs,
             wall,
         })
@@ -388,6 +405,10 @@ pub struct CampaignReport {
     pub name: String,
     /// Per-run records, ordered by run id.
     pub runs: Vec<RunRecord>,
+    /// Runs the supervision layer gave up on, ordered by run id. Always
+    /// empty for [`Campaign::run`] (fail-fast has no quarantine); only
+    /// [`Campaign::run_supervised`](crate::Supervision) populates it.
+    pub quarantined: Vec<QuarantinedRun>,
     /// Worker threads used (accounting only — not serialized).
     pub jobs: usize,
     /// Wall-clock time of the batch (accounting only — not serialized).
@@ -453,12 +474,26 @@ impl CampaignReport {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut fields = vec![
             ("campaign".into(), Json::Str(self.name.clone())),
             ("format".into(), Json::U64(1)),
             ("runs".into(), Json::Arr(runs)),
-        ])
-        .to_string_pretty()
+        ];
+        // Only serialized when non-empty: unsupervised artifacts (and
+        // supervised runs where nothing failed) stay byte-identical to the
+        // pre-supervision format.
+        if !self.quarantined.is_empty() {
+            fields.push((
+                "quarantined".into(),
+                Json::Arr(
+                    self.quarantined
+                        .iter()
+                        .map(QuarantinedRun::to_json)
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields).to_string_pretty()
     }
 
     /// Reconstructs a report from [`CampaignReport::to_json`] output.
@@ -519,9 +554,19 @@ impl CampaignReport {
                 )?,
             });
         }
+        let mut quarantined = Vec::new();
+        if let Some(qs) = v.get("quarantined").and_then(Json::as_arr) {
+            for q in qs {
+                quarantined.push(
+                    QuarantinedRun::from_json(q)
+                        .map_err(|what| fail(&format!("bad quarantine record: {what}")))?,
+                );
+            }
+        }
         Ok(CampaignReport {
             name,
             runs,
+            quarantined,
             jobs: 0,
             wall: Duration::ZERO,
         })

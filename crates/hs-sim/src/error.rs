@@ -7,7 +7,7 @@
 //! across the workspace. The panicking entry points (`run`, `new`) are thin
 //! wrappers kept for ergonomics in tests and examples.
 
-use hs_core::ConfigError;
+use hs_core::{ConfigError, ErrorClass};
 use std::error::Error;
 use std::fmt;
 
@@ -47,6 +47,31 @@ pub enum SimError {
         /// What was wrong with it.
         cause: Box<SimError>,
     },
+    /// Two campaign runs share a label. Labels are the lookup key for
+    /// renderers ([`crate::CampaignReport::stats`]) and the identity check
+    /// for journal resume, so duplicates are rejected at preflight instead
+    /// of silently shadowing one run behind the other.
+    DuplicateLabel {
+        /// The shared label.
+        label: String,
+        /// Stable id of the first run declared with it.
+        first: usize,
+        /// Stable id of the duplicate.
+        second: usize,
+    },
+    /// The environment — not the run's specification — failed: a worker
+    /// was lost, a campaign was aborted mid-flight, injected chaos fired.
+    /// The one [`ErrorClass::Transient`] variant: supervisors retry it.
+    Interrupted {
+        /// What the environment did.
+        what: String,
+    },
+    /// A run journal could not be used: unreadable, corrupt beyond its
+    /// (tolerated) torn final line, or written by a different campaign.
+    Journal {
+        /// What is wrong with the journal.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -75,6 +100,41 @@ impl fmt::Display for SimError {
             SimError::InvalidRun { id, label, cause } => {
                 write!(f, "run #{id} `{label}`: {cause}")
             }
+            SimError::DuplicateLabel {
+                label,
+                first,
+                second,
+            } => write!(
+                f,
+                "runs #{first} and #{second} share the label `{label}`; \
+                 labels must be unique (they key report lookup and journal \
+                 resume)"
+            ),
+            SimError::Interrupted { what } => write!(f, "interrupted: {what}"),
+            SimError::Journal { detail } => write!(f, "run journal unusable: {detail}"),
+        }
+    }
+}
+
+impl SimError {
+    /// Supervision classification: is this failure worth retrying?
+    ///
+    /// Everything that is a pure function of the run's specification is
+    /// [`ErrorClass::Permanent`]; only [`SimError::Interrupted`] — the
+    /// environment failing, not the spec — is [`ErrorClass::Transient`].
+    /// [`SimError::InvalidRun`] inherits its cause's class.
+    #[must_use]
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            SimError::Interrupted { .. } => ErrorClass::Transient,
+            SimError::InvalidRun { cause, .. } => cause.class(),
+            SimError::Config(_)
+            | SimError::NoWorkloads
+            | SimError::TooManyWorkloads { .. }
+            | SimError::RunawayCombination
+            | SimError::AdmissionRejected { .. }
+            | SimError::DuplicateLabel { .. }
+            | SimError::Journal { .. } => ErrorClass::Permanent,
         }
     }
 }
@@ -121,6 +181,35 @@ mod tests {
         assert!(s.contains("#7"));
         assert!(s.contains("gcc/sedation"));
         assert!(s.contains("workload"));
+    }
+
+    #[test]
+    fn classification_splits_spec_from_environment() {
+        assert_eq!(SimError::NoWorkloads.class(), ErrorClass::Permanent);
+        assert_eq!(SimError::RunawayCombination.class(), ErrorClass::Permanent);
+        let e = SimError::Interrupted {
+            what: "worker lost".into(),
+        };
+        assert_eq!(e.class(), ErrorClass::Transient);
+        // InvalidRun inherits from its cause.
+        let wrapped = SimError::InvalidRun {
+            id: 0,
+            label: "x".into(),
+            cause: Box::new(e),
+        };
+        assert_eq!(wrapped.class(), ErrorClass::Transient);
+    }
+
+    #[test]
+    fn duplicate_label_names_both_runs() {
+        let e = SimError::DuplicateLabel {
+            label: "gcc/sedation".into(),
+            first: 2,
+            second: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("#2") && s.contains("#5") && s.contains("gcc/sedation"));
+        assert_eq!(e.class(), ErrorClass::Permanent);
     }
 
     #[test]

@@ -101,6 +101,47 @@ impl Json {
         out
     }
 
+    /// Serializes to a single line with no whitespace — the journal's
+    /// record format, where one value must occupy exactly one line. The
+    /// same member order and float formatting as the pretty writer, so the
+    /// two spellings of a value parse back identical.
+    #[must_use]
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::U64(_) | Json::F64(_) | Json::Str(_) => {
+                self.write(out, 0);
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -169,6 +210,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -221,9 +263,16 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses the call stack, so unbounded nesting (a "depth bomb" like
+/// `[[[[…`) would abort the process with a stack overflow instead of
+/// returning an error. Our own artifacts nest ~6 deep; 64 is generous.
+const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -275,12 +324,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -291,6 +350,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -300,15 +360,23 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
-        let mut members = Vec::new();
+        self.enter()?;
+        let mut members: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
             self.skip_ws();
             let key = self.string()?;
+            // Our writers never repeat a key, and `get` would silently
+            // shadow the second value — a corrupted journal or artifact
+            // must not be half-read, so duplicates are an error.
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key `{key}`")));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -318,6 +386,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -366,13 +435,18 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
+                // RFC 8259: control characters must be escaped. The writer
+                // always escapes them, so a raw one is corruption.
+                b if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
                 _ => {
                     // Re-decode UTF-8 from the raw bytes.
                     let start = self.pos - 1;
                     while self
                         .bytes
                         .get(self.pos)
-                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                        .is_some_and(|&b| b != b'"' && b != b'\\' && b >= 0x20)
                     {
                         self.pos += 1;
                     }
@@ -407,9 +481,14 @@ impl<'a> Parser<'a> {
                 return Ok(Json::U64(v));
             }
         }
-        text.parse::<f64>()
-            .map(Json::F64)
-            .map_err(|_| self.err(format!("invalid number `{text}`")))
+        match text.parse::<f64>() {
+            // `1e999` parses to infinity; JSON has no non-finite numbers
+            // and our writer never emits one (it writes `null`), so an
+            // overflowing literal is corruption, not data.
+            Ok(v) if v.is_finite() => Ok(Json::F64(v)),
+            Ok(_) => Err(self.err(format!("number `{text}` overflows to non-finite"))),
+            Err(_) => Err(self.err(format!("invalid number `{text}`"))),
+        }
     }
 }
 
@@ -498,6 +577,61 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\q\""] {
             let e = Json::parse(bad).unwrap_err();
             assert!(e.to_string().contains("byte"), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn compact_writer_round_trips_against_pretty() {
+        let v = Json::Obj(vec![
+            ("id".into(), Json::U64(3)),
+            ("label".into(), Json::Str("gcc/sedation \"x\"".into())),
+            (
+                "stats".into(),
+                Json::Obj(vec![
+                    ("ipc".into(), Json::F64(1.75)),
+                    (
+                        "peaks".into(),
+                        Json::Arr(vec![Json::F64(358.5), Json::Null]),
+                    ),
+                    ("empty".into(), Json::Arr(vec![])),
+                ]),
+            ),
+        ]);
+        let compact = v.to_string_compact();
+        assert!(
+            !compact.contains('\n') && !compact.contains(": "),
+            "one line, no decorative whitespace: {compact}"
+        );
+        assert_eq!(Json::parse(&compact).expect("parses"), v);
+        assert_eq!(
+            Json::parse(&compact).unwrap().to_string_pretty(),
+            v.to_string_pretty(),
+            "compact and pretty spellings parse to the same value"
+        );
+    }
+
+    #[test]
+    fn depth_bombs_error_instead_of_overflowing_the_stack() {
+        for bomb in ["[".repeat(100_000), "{\"k\":".repeat(100_000)] {
+            let e = Json::parse(&bomb).unwrap_err();
+            assert!(e.message.contains("nesting"), "{e}");
+        }
+        // ...but legitimate nesting well under the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(32), "]".repeat(32));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let e = Json::parse("{\"a\": 1, \"a\": 2}").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+        assert!(Json::parse("{\"a\": 1, \"b\": {\"a\": 2}}").is_ok());
+    }
+
+    #[test]
+    fn non_finite_literals_are_rejected() {
+        for bad in ["NaN", "Infinity", "-Infinity", "1e999", "-1e999", "[1e400]"] {
+            assert!(Json::parse(bad).is_err(), "{bad} must not parse");
         }
     }
 

@@ -57,11 +57,13 @@ pub mod admission;
 pub mod campaign;
 pub mod config;
 pub mod error;
+mod journal;
 pub mod json;
 pub mod os;
 pub mod runner;
 pub mod simulator;
 pub mod stats;
+pub mod supervise;
 
 pub use admission::AdmissionMode;
 pub use campaign::{Campaign, CampaignMatrix, CampaignReport, RunRecord};
@@ -72,3 +74,6 @@ pub use os::{OsScheduler, ScheduleOutcome, SchedulerConfig};
 pub use runner::{RunSpec, RunSpecBuilder};
 pub use simulator::Simulator;
 pub use stats::{SimStats, ThreadBreakdown, ThreadSummary};
+pub use supervise::{
+    ChaosEvent, ChaosPlan, DeadlineKind, QuarantinedRun, RetryPolicy, RunOutcome, Supervision,
+};

@@ -1,0 +1,179 @@
+//! Malformed-input coverage for `hs_sim::json`: journals are parsed from
+//! crash-truncated files, so the parser must return a typed [`JsonError`]
+//! for *any* broken input — truncations, flipped bytes, non-finite number
+//! literals, duplicate keys, depth bombs — and never panic or overflow the
+//! stack. Corruption is generated deterministically from seeds.
+
+use hs_sim::{Json, JsonError};
+use hs_thermal::XorShift64;
+
+/// A representative document: nested objects, arrays, escapes, floats in
+/// several notations, booleans, null — the shapes real artifacts use.
+fn specimen() -> String {
+    Json::parse(
+        r#"{
+            "campaign": "fuzz \"specimen\" µ\n",
+            "format": 1,
+            "runs": [
+                {"id": 0, "label": "gcc/sedation", "ipc": 1.375, "temps": [356.5, 3.0e-5, -0.0]},
+                {"id": 1, "label": "v2/stop-and-go", "stalled": true, "notes": null}
+            ],
+            "wall": 12.25
+        }"#,
+    )
+    .expect("specimen is valid")
+    .to_string_pretty()
+}
+
+fn parse(text: &str) -> Result<Json, JsonError> {
+    Json::parse(text)
+}
+
+#[test]
+fn every_prefix_truncation_errors_or_parses_cleanly() {
+    let text = specimen();
+    let round = Json::parse(&text).expect("round-trips");
+    assert_eq!(round.to_string_pretty(), text);
+    // Iterate over prefixes of the trimmed document: prefixes that only
+    // shave trailing whitespace are still complete, valid JSON.
+    for end in 0..text.trim_end().len() {
+        if !text.is_char_boundary(end) {
+            continue;
+        }
+        // A proper prefix of a pretty-printed document is never valid —
+        // the closing brace is always the last byte.
+        let err = parse(&text[..end]).expect_err("truncation detected");
+        assert!(!err.message.is_empty());
+        assert!(
+            err.offset <= end,
+            "offset {} past input end {end}",
+            err.offset
+        );
+    }
+}
+
+#[test]
+fn seeded_byte_flips_never_panic() {
+    let text = specimen();
+    let mut rng = XorShift64::new(0xF122);
+    let mut parsed_ok = 0_u32;
+    for _ in 0..2_000 {
+        let mut bytes = text.clone().into_bytes();
+        for _ in 0..=rng.next_below(3) {
+            let at = rng.next_below(bytes.len() as u64) as usize;
+            bytes[at] = (rng.next_u64() & 0xFF) as u8;
+        }
+        // The parser's contract covers &str, so only valid UTF-8 mutants
+        // reach it (the type system enforces the boundary upstream).
+        if let Ok(mutant) = String::from_utf8(bytes) {
+            if parse(&mutant).is_ok() {
+                parsed_ok += 1;
+            }
+        }
+    }
+    // Some mutants stay valid (e.g. a digit flipped to a digit) — that is
+    // fine; the property under test is "typed result, no panic".
+    assert!(
+        parsed_ok < 2_000,
+        "flipping bytes must break at least one parse"
+    );
+}
+
+#[test]
+fn seeded_splices_of_two_documents_never_panic() {
+    let a = specimen();
+    let b = Json::Arr(vec![Json::F64(1.5), Json::Str("x".into()), Json::Null]).to_string_pretty();
+    let mut rng = XorShift64::new(0x5CE1);
+    for _ in 0..2_000 {
+        let cut_a = rng.next_below(a.len() as u64 + 1) as usize;
+        let cut_b = rng.next_below(b.len() as u64 + 1) as usize;
+        if !a.is_char_boundary(cut_a) || !b.is_char_boundary(cut_b) {
+            continue;
+        }
+        let spliced = format!("{}{}", &a[..cut_a], &b[cut_b..]);
+        let _ = parse(&spliced); // must return, not panic
+    }
+}
+
+#[test]
+fn non_finite_number_literals_are_rejected() {
+    for bad in [
+        "NaN",
+        "Infinity",
+        "-Infinity",
+        "nan",
+        "inf",
+        "1e999",
+        "-1e999",
+        "[1.0, 1e400]",
+        "{\"t\": -2e308}",
+    ] {
+        let err = parse(bad).expect_err(bad);
+        assert!(!err.message.is_empty(), "{bad}");
+    }
+    // Near-boundary finite values still parse.
+    assert!(parse("1e308").is_ok());
+    assert!(parse("-1.7976931348623157e308").is_ok());
+}
+
+#[test]
+fn duplicate_object_keys_are_rejected() {
+    for bad in [
+        r#"{"a": 1, "a": 2}"#,
+        r#"{"a": 1, "b": {"x": 1, "x": 2}}"#,
+        r#"[{"k": null, "k": null}]"#,
+    ] {
+        let err = parse(bad).expect_err(bad);
+        assert!(err.message.contains("duplicate"), "{bad}: {}", err.message);
+    }
+    // Same key at different depths is fine.
+    assert!(parse(r#"{"a": {"a": 1}}"#).is_ok());
+}
+
+#[test]
+fn depth_bombs_error_instead_of_crashing() {
+    // A recursive-descent parser without a depth guard aborts the whole
+    // process (stack overflow is not unwindable), so this test existing
+    // at all is the point.
+    for bomb in [
+        "[".repeat(100_000),
+        format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000)),
+        "{\"a\":".repeat(50_000),
+        format!("{}null{}", "{\"a\":".repeat(50_000), "}".repeat(50_000)),
+    ] {
+        let err = parse(&bomb).expect_err("depth bomb rejected");
+        assert!(err.message.contains("deep"), "{}", err.message);
+    }
+    // Reasonable nesting still parses.
+    let fine = format!("{}1{}", "[".repeat(32), "]".repeat(32));
+    assert!(parse(&fine).is_ok());
+}
+
+#[test]
+fn torn_string_escapes_error_cleanly() {
+    for bad in [
+        r#""\"#,
+        r#""\u"#,
+        r#""\u00"#,
+        r#""\uD800""#, // lone surrogate
+        r#""\x41""#,   // invalid escape
+        "\"unterminated",
+        "\"ctrl \u{1} char\"",
+    ] {
+        assert!(parse(bad).is_err(), "{bad:?} must not parse");
+    }
+}
+
+#[test]
+fn compact_and_pretty_agree_under_reparse() {
+    let text = specimen();
+    let v = Json::parse(&text).expect("valid");
+    let compact = v.to_string_compact();
+    assert!(!compact.contains('\n'), "compact is one line");
+    let reparsed = Json::parse(&compact).expect("compact output is valid JSON");
+    assert_eq!(
+        reparsed.to_string_pretty(),
+        text,
+        "formats agree on the value"
+    );
+}

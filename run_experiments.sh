@@ -5,16 +5,23 @@
 #   ./run_experiments.sh                      # run the full matrix
 #   ./run_experiments.sh --only fig5          # rerun a single experiment
 #   ./run_experiments.sh --jobs 8             # campaign engine worker count
+#   ./run_experiments.sh --resume             # continue from run journals
 #
 # The experiment menu is not hardcoded here: it is regenerated from
 # `campaign --list`, so a new experiment registered in hs-bench shows up
 # automatically (the old hardcoded array had drifted out of date).
+#
+# --resume is handed through to the campaign binary: a supervised
+# experiment replays `results/<name>.journal.jsonl` and executes only the
+# runs the journal is missing; the resumed artifact is byte-identical to
+# an uninterrupted one.
 set -euo pipefail
 cd "$(dirname "$0")"
 BIN=target/release
 
 only=""
 jobs=""
+resume=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --only)
@@ -23,9 +30,11 @@ while [ $# -gt 0 ]; do
     --jobs)
       [ $# -ge 2 ] || { echo "--jobs requires a number" >&2; exit 2; }
       jobs="$2"; shift 2 ;;
+    --resume)
+      resume=1; shift ;;
     *)
       echo "unknown argument: $1" >&2
-      echo "usage: $0 [--only <experiment>] [--jobs <n>]" >&2
+      echo "usage: $0 [--only <experiment>] [--jobs <n>] [--resume]" >&2
       exit 2 ;;
   esac
 done
@@ -49,14 +58,21 @@ if [ -n "$only" ]; then
   EXPERIMENTS=("$only")
 fi
 
-jobs_args=()
-[ -n "$jobs" ] && jobs_args=(--jobs "$jobs")
+extra_args=()
+[ -n "$jobs" ] && extra_args+=(--jobs "$jobs")
+[ -n "$resume" ] && extra_args+=(--resume)
+
+# A supervised experiment reports `quarantined: N` on stderr; surface it.
+quarantine_count() {
+  sed -n 's/^ *quarantined: //p' "results/$1.log" | tail -1
+}
 
 mkdir -p results
 failed=()
+quarantined=()
 for exp in "${EXPERIMENTS[@]}"; do
   echo "=== $exp ($(date +%H:%M:%S)) ==="
-  if "$BIN/campaign" --only "$exp" "${jobs_args[@]}" --json "results/$exp.json" \
+  if "$BIN/campaign" --only "$exp" "${extra_args[@]}" --json "results/$exp.json" \
       > "results/$exp.txt" 2> "results/$exp.log"; then
     echo "    done"
   else
@@ -64,8 +80,17 @@ for exp in "${EXPERIMENTS[@]}"; do
     echo "    FAILED (exit $rc) — see results/$exp.txt and results/$exp.log"
     failed+=("$exp")
   fi
+  q="$(quarantine_count "$exp")"
+  if [ -n "$q" ] && [ "$q" != 0 ]; then
+    echo "    quarantined runs: $q"
+    quarantined+=("$exp:$q")
+  fi
 done
 
+if [ "${#quarantined[@]}" -gt 0 ]; then
+  echo
+  echo "QUARANTINED RUNS (experiment:count): ${quarantined[*]}"
+fi
 if [ "${#failed[@]}" -gt 0 ]; then
   echo
   echo "FAILED EXPERIMENTS (${#failed[@]}/${#EXPERIMENTS[@]}): ${failed[*]}"
